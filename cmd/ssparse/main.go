@@ -1,0 +1,89 @@
+// Command ssparse parses transaction logs written by supersim and generates
+// latency information, with an easy-to-use filtering mechanism for viewing
+// subsets of the data.
+//
+// Usage:
+//
+//	ssparse results.log +app=0 +send=500-1000
+//
+// Filters are ANDed. The aggregate latency summary prints to stdout; -csv
+// additionally emits the percentile distribution as CSV.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"supersim/internal/ssparse"
+	"supersim/internal/ssplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssparse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var path, csvPath string
+	var filters []ssparse.Filter
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case strings.HasPrefix(arg, "+"):
+			f, err := ssparse.ParseFilter(arg)
+			if err != nil {
+				return err
+			}
+			filters = append(filters, f)
+		case arg == "-csv":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-csv requires a file argument")
+			}
+			csvPath = args[i]
+		case path == "":
+			path = arg
+		default:
+			return fmt.Errorf("unexpected argument %q", arg)
+		}
+	}
+	if path == "" {
+		return fmt.Errorf("usage: ssparse <log file> [+filter ...] [-csv out.csv]")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := ssparse.Parse(f)
+	if err != nil {
+		return err
+	}
+	rec := ssparse.Apply(samples, filters)
+	s := rec.Summarize()
+	fmt.Printf("samples:    %d (of %d before filters)\n", s.Count, len(samples))
+	if s.Count == 0 {
+		return nil
+	}
+	fmt.Printf("latency:    mean=%.1f min=%.0f max=%.0f\n", s.Mean, s.Min, s.Max)
+	fmt.Printf("percentile: p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f p99.99=%.0f\n",
+		s.P50, s.P90, s.P99, s.P999, s.P9999)
+	fmt.Printf("hops:       mean=%.2f  nonminimal: %.4f\n", s.MeanHops, s.NonMinimal)
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		pts := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 99.9, 99.99, 100}
+		series := []ssplot.Series{{Label: "latency", XY: rec.PercentileCurve(pts)}}
+		if err := ssplot.WriteCSV(out, series); err != nil {
+			return err
+		}
+		fmt.Printf("wrote percentile CSV to %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLog(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "run.log")
+	log := "M 0 0 1 2 100 250 1 3 0\nM 1 0 2 3 600 900 4 5 1\nM 2 1 3 1 700 1500 2 2 0\n"
+	if err := os.WriteFile(p, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunWithFilters(t *testing.T) {
+	p := writeLog(t)
+	if err := run([]string{p, "+app=0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	p := writeLog(t)
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{p, "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "latency") {
+		t.Fatal("csv missing header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeLog(t)
+	for _, args := range [][]string{
+		{},                      // no file
+		{p, "+bogus=1"},         // bad filter
+		{p, "-csv"},             // missing csv arg
+		{p, "extra"},            // stray arg
+		{"/does/not/exist.log"}, // missing file
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunEmptyAfterFilters(t *testing.T) {
+	p := writeLog(t)
+	if err := run([]string{p, "+app=9"}); err != nil {
+		t.Fatal(err) // zero matches is not an error
+	}
+}

@@ -1,0 +1,103 @@
+// Command ssplot renders plots from supersim transaction logs: percentile
+// distributions, CDFs, PDFs and transient time series, as ASCII plots and
+// optional CSV series.
+//
+// Usage:
+//
+//	ssplot -plot percentile results.log [+filter ...] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"supersim/internal/ssparse"
+	"supersim/internal/ssplot"
+)
+
+func main() {
+	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries")
+	csvPath := flag.String("csv", "", "also write the series as CSV")
+	binWidth := flag.Uint64("bin", 0, "time series bin width in ticks (default: span/40)")
+	width := flag.Int("width", 70, "ASCII plot width")
+	height := flag.Int("height", 18, "ASCII plot height")
+	flag.Parse()
+	if err := run(*plot, *csvPath, *binWidth, *width, *height, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ssplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(plot, csvPath string, binWidth uint64, width, height int, args []string) error {
+	var path string
+	var filters []ssparse.Filter
+	for _, arg := range args {
+		if strings.HasPrefix(arg, "+") {
+			f, err := ssparse.ParseFilter(arg)
+			if err != nil {
+				return err
+			}
+			filters = append(filters, f)
+			continue
+		}
+		if path != "" {
+			return fmt.Errorf("unexpected argument %q", arg)
+		}
+		path = arg
+	}
+	if path == "" {
+		return fmt.Errorf("usage: ssplot -plot <kind> <log file> [+filter ...]")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := ssparse.Parse(f)
+	if err != nil {
+		return err
+	}
+	rec := ssparse.Apply(samples, filters)
+	if rec.Count() == 0 {
+		return fmt.Errorf("no samples after filters")
+	}
+
+	var series ssplot.Series
+	var title, xl, yl string
+	switch plot {
+	case "percentile":
+		pts := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 99.9, 99.99, 100}
+		series = ssplot.Series{Label: "latency", XY: rec.PercentileCurve(pts)}
+		title, xl, yl = "percentile distribution", "percentile", "latency (ticks)"
+	case "cdf":
+		series = ssplot.Series{Label: "cdf", XY: rec.CDF()}
+		title, xl, yl = "latency CDF", "latency (ticks)", "cumulative fraction"
+	case "pdf":
+		series = ssplot.Series{Label: "pdf", XY: rec.PDF(40)}
+		title, xl, yl = "latency PDF", "latency (ticks)", "fraction"
+	case "timeseries":
+		bw := binWidth
+		if bw == 0 {
+			span := rec.Samples()[len(rec.Samples())-1].End - rec.Samples()[0].End
+			bw = uint64(span/40) + 1
+		}
+		series = ssplot.Series{Label: "mean latency", XY: rec.TimeSeries(bw)}
+		title, xl, yl = "mean latency over time", "time (ticks)", "latency (ticks)"
+	default:
+		return fmt.Errorf("unknown plot kind %q", plot)
+	}
+	ssplot.Plot(os.Stdout, title, xl, yl, []ssplot.Series{series}, width, height)
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := ssplot.WriteCSV(out, []ssplot.Series{series}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseVar(t *testing.T) {
+	v, err := parseVar("Lat=CL=network.channel.latency=uint=1,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "Lat" || v.Short != "CL" || len(v.Values) != 3 {
+		t.Fatalf("variable %+v", v)
+	}
+	if v.Values[2] != uint64(4) {
+		t.Fatalf("value %T %v", v.Values[2], v.Values[2])
+	}
+}
+
+func TestParseVarTypes(t *testing.T) {
+	cases := map[string]any{
+		"N=S=p=int=-3":     int64(-3),
+		"N=S=p=float=0.5":  0.5,
+		"N=S=p=string=abc": "abc",
+	}
+	for decl, want := range cases {
+		v, err := parseVar(decl)
+		if err != nil {
+			t.Fatalf("%s: %v", decl, err)
+		}
+		if v.Values[0] != want {
+			t.Fatalf("%s: got %v (%T)", decl, v.Values[0], v.Values[0])
+		}
+	}
+}
+
+func TestParseVarErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noequals",
+		"N=S=p=uint=notanumber",
+		"N=S=p=int=x",
+		"N=S=p=float=x",
+		"N=S=p=mystery=1",
+		"N=S=p=uint", // missing values
+	} {
+		if _, err := parseVar(bad); err == nil {
+			t.Errorf("parseVar(%q) should fail", bad)
+		}
+	}
+}

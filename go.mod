@@ -1,0 +1,3 @@
+module supersim
+
+go 1.22

@@ -1,0 +1,58 @@
+// Package allocator implements allocators: components that match multiple
+// requesting clients to multiple resources in a single allocation round.
+// Routers use allocators for virtual channel allocation and crossbar
+// (switch) allocation.
+//
+// The provided implementations are the classic separable allocators built
+// from two ranks of per-client and per-resource arbiters.
+package allocator
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/arbiter"
+	"supersim/internal/config"
+	"supersim/internal/factory"
+)
+
+// Allocator matches clients to resources.
+//
+// requests[c][r] reports whether client c requests resource r. prio carries
+// one metadata value per client (see arbiter.Arbiter). Allocate fills
+// grants[c] with the granted resource index or -1; a resource is granted to
+// at most one client and a client receives at most one resource.
+type Allocator interface {
+	NumClients() int
+	NumResources() int
+	Allocate(requests [][]bool, prio []uint64, grants []int)
+}
+
+// Ctor is the constructor signature registered by implementations.
+type Ctor func(cfg *config.Settings, rng *rand.Rand, clients, resources int) Allocator
+
+// Registry holds all allocator implementations.
+var Registry = factory.NewRegistry[Ctor]("allocator")
+
+// New builds the allocator named by cfg's "type" setting.
+func New(cfg *config.Settings, rng *rand.Rand, clients, resources int) Allocator {
+	return Registry.MustLookup(cfg.String("type"))(cfg, rng, clients, resources)
+}
+
+func checkShapes(a Allocator, requests [][]bool, grants []int) {
+	if len(requests) != a.NumClients() || len(grants) != a.NumClients() {
+		panic("allocator: requests/grants shape mismatch")
+	}
+	for _, row := range requests {
+		if len(row) != a.NumResources() {
+			panic("allocator: request row size mismatch")
+		}
+	}
+}
+
+func subArbiter(cfg *config.Settings, key string, rng *rand.Rand, size int) arbiter.Arbiter {
+	sub := cfg.SubOr(key)
+	if !sub.Has("type") {
+		sub.Set("type", "round_robin")
+	}
+	return arbiter.New(sub, rng, size)
+}

@@ -1,0 +1,204 @@
+package allocator
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"supersim/internal/config"
+)
+
+func build(t *testing.T, typ string, clients, resources int) Allocator {
+	t.Helper()
+	cfg := config.MustParse(`{"type": "` + typ + `"}`)
+	return New(cfg, rand.New(rand.NewPCG(5, 6)), clients, resources)
+}
+
+func reqMatrix(clients, resources int, pairs ...[2]int) [][]bool {
+	m := make([][]bool, clients)
+	for c := range m {
+		m[c] = make([]bool, resources)
+	}
+	for _, p := range pairs {
+		m[p[0]][p[1]] = true
+	}
+	return m
+}
+
+func checkMatching(t *testing.T, requests [][]bool, grants []int) {
+	t.Helper()
+	used := map[int]int{}
+	for c, r := range grants {
+		if r == -1 {
+			continue
+		}
+		if !requests[c][r] {
+			t.Fatalf("client %d granted un-requested resource %d", c, r)
+		}
+		if prev, dup := used[r]; dup {
+			t.Fatalf("resource %d granted to clients %d and %d", r, prev, c)
+		}
+		used[r] = c
+	}
+}
+
+func TestSeparableBothOrdersBasic(t *testing.T) {
+	for _, typ := range []string{"separable_input_first", "separable_output_first"} {
+		a := build(t, typ, 3, 3)
+		req := reqMatrix(3, 3, [2]int{0, 0}, [2]int{1, 1}, [2]int{2, 2})
+		grants := make([]int, 3)
+		a.Allocate(req, nil, grants)
+		// Non-conflicting requests must all be granted.
+		for c := 0; c < 3; c++ {
+			if grants[c] != c {
+				t.Fatalf("%s: grants = %v, want identity", typ, grants)
+			}
+		}
+	}
+}
+
+func TestSeparableConflictResolution(t *testing.T) {
+	for _, typ := range []string{"separable_input_first", "separable_output_first"} {
+		a := build(t, typ, 2, 1)
+		req := reqMatrix(2, 1, [2]int{0, 0}, [2]int{1, 0})
+		grants := make([]int, 2)
+		a.Allocate(req, nil, grants)
+		granted := 0
+		for _, g := range grants {
+			if g == 0 {
+				granted++
+			}
+		}
+		if granted != 1 {
+			t.Fatalf("%s: resource granted %d times: %v", typ, granted, grants)
+		}
+	}
+}
+
+func TestSeparableRoundRobinRotatesUnderConflict(t *testing.T) {
+	a := build(t, "separable_input_first", 2, 1)
+	req := reqMatrix(2, 1, [2]int{0, 0}, [2]int{1, 0})
+	winners := map[int]int{}
+	grants := make([]int, 2)
+	for i := 0; i < 10; i++ {
+		a.Allocate(req, nil, grants)
+		for c, g := range grants {
+			if g == 0 {
+				winners[c]++
+			}
+		}
+	}
+	if winners[0] != 5 || winners[1] != 5 {
+		t.Fatalf("round robin under conflict gave %v, want 5/5", winners)
+	}
+}
+
+func TestSeparableAgePriority(t *testing.T) {
+	cfg := config.MustParse(`{
+	  "type": "separable_input_first",
+	  "resource_arbiter": {"type": "age_based"}
+	}`)
+	a := New(cfg, rand.New(rand.NewPCG(1, 2)), 3, 1)
+	req := reqMatrix(3, 1, [2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0})
+	grants := make([]int, 3)
+	prio := []uint64{30, 10, 20} // client 1 is oldest
+	for i := 0; i < 4; i++ {
+		a.Allocate(req, prio, grants)
+		if grants[1] != 0 {
+			t.Fatalf("iteration %d: oldest client not granted: %v", i, grants)
+		}
+	}
+}
+
+func TestSeparableWideMatch(t *testing.T) {
+	// All clients request all resources; a separable allocator must produce a
+	// legal (conflict-free) matching and, with identity-free conflicts,
+	// grant at least one pair.
+	for _, typ := range []string{"separable_input_first", "separable_output_first"} {
+		a := build(t, typ, 4, 4)
+		req := make([][]bool, 4)
+		for c := range req {
+			req[c] = []bool{true, true, true, true}
+		}
+		grants := make([]int, 4)
+		total := 0
+		for round := 0; round < 8; round++ {
+			a.Allocate(req, nil, grants)
+			checkMatching(t, req, grants)
+			for _, g := range grants {
+				if g != -1 {
+					total++
+				}
+			}
+		}
+		if total < 8 {
+			t.Fatalf("%s: only %d grants in 8 full-request rounds", typ, total)
+		}
+	}
+}
+
+func TestAllocatePropertyLegalMatching(t *testing.T) {
+	ifirst := build(t, "separable_input_first", 5, 4)
+	ofirst := build(t, "separable_output_first", 5, 4)
+	prop := func(bits [5]uint8, prios [5]uint16) bool {
+		req := make([][]bool, 5)
+		for c := range req {
+			req[c] = make([]bool, 4)
+			for r := 0; r < 4; r++ {
+				req[c][r] = bits[c]&(1<<r) != 0
+			}
+		}
+		prio := make([]uint64, 5)
+		for i := range prio {
+			prio[i] = uint64(prios[i])
+		}
+		for _, a := range []Allocator{ifirst, ofirst} {
+			grants := make([]int, 5)
+			a.Allocate(req, prio, grants)
+			used := map[int]bool{}
+			for c, r := range grants {
+				if r == -1 {
+					continue
+				}
+				if !req[c][r] || used[r] {
+					return false
+				}
+				used[r] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorShapeChecks(t *testing.T) {
+	a := build(t, "separable_input_first", 2, 2)
+	grants := make([]int, 2)
+	mustPanic(t, func() { a.Allocate(reqMatrix(3, 2), nil, grants) })
+	mustPanic(t, func() { a.Allocate(reqMatrix(2, 3), nil, grants) })
+	mustPanic(t, func() { a.Allocate(reqMatrix(2, 2), nil, make([]int, 1)) })
+}
+
+func TestAllocatorInvalidSizes(t *testing.T) {
+	mustPanic(t, func() { build(t, "separable_input_first", 0, 2) })
+	mustPanic(t, func() { build(t, "separable_output_first", 2, 0) })
+}
+
+func TestAllocatorAccessors(t *testing.T) {
+	a := build(t, "separable_input_first", 3, 5)
+	if a.NumClients() != 3 || a.NumResources() != 5 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

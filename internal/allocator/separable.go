@@ -1,0 +1,142 @@
+package allocator
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/arbiter"
+	"supersim/internal/config"
+)
+
+func init() {
+	Registry.Register("separable_input_first",
+		func(cfg *config.Settings, rng *rand.Rand, clients, resources int) Allocator {
+			return newSeparable(cfg, rng, clients, resources, true)
+		})
+	Registry.Register("separable_output_first",
+		func(cfg *config.Settings, rng *rand.Rand, clients, resources int) Allocator {
+			return newSeparable(cfg, rng, clients, resources, false)
+		})
+}
+
+// Separable is a two-stage separable allocator. In input-first order, each
+// client first selects one of its requested resources (rank of per-client
+// arbiters over resources), then each resource selects among the clients
+// that chose it (rank of per-resource arbiters over clients). Output-first
+// reverses the stages. Both ranks' arbitration policies are configurable
+// ("client_arbiter" and "resource_arbiter" blocks; default round robin).
+type Separable struct {
+	clients, resources int
+	inputFirst         bool
+	clientArbs         []arbiter.Arbiter // one per client, over resources
+	resourceArbs       []arbiter.Arbiter // one per resource, over clients
+
+	// scratch
+	stage     []bool
+	candidate []int
+}
+
+func newSeparable(cfg *config.Settings, rng *rand.Rand, clients, resources int, inputFirst bool) *Separable {
+	if clients <= 0 || resources <= 0 {
+		panic("allocator: clients and resources must be positive")
+	}
+	s := &Separable{
+		clients:    clients,
+		resources:  resources,
+		inputFirst: inputFirst,
+	}
+	s.clientArbs = make([]arbiter.Arbiter, clients)
+	for c := range s.clientArbs {
+		s.clientArbs[c] = subArbiter(cfg, "client_arbiter", rng, resources)
+	}
+	s.resourceArbs = make([]arbiter.Arbiter, resources)
+	for r := range s.resourceArbs {
+		s.resourceArbs[r] = subArbiter(cfg, "resource_arbiter", rng, clients)
+	}
+	n := clients
+	if resources > n {
+		n = resources
+	}
+	s.stage = make([]bool, n)
+	s.candidate = make([]int, n)
+	return s
+}
+
+// NumClients returns the number of clients.
+func (s *Separable) NumClients() int { return s.clients }
+
+// NumResources returns the number of resources.
+func (s *Separable) NumResources() int { return s.resources }
+
+// Allocate performs one allocation round.
+func (s *Separable) Allocate(requests [][]bool, prio []uint64, grants []int) {
+	checkShapes(s, requests, grants)
+	for c := range grants {
+		grants[c] = -1
+	}
+	if s.inputFirst {
+		s.allocateInputFirst(requests, prio, grants)
+	} else {
+		s.allocateOutputFirst(requests, prio, grants)
+	}
+}
+
+func (s *Separable) allocateInputFirst(requests [][]bool, prio []uint64, grants []int) {
+	// Stage 1: each client picks a candidate resource.
+	cand := s.candidate[:s.clients]
+	for c := 0; c < s.clients; c++ {
+		cand[c] = s.clientArbs[c].Grant(requests[c], nil)
+	}
+	// Stage 2: each resource arbitrates among clients that picked it.
+	reqs := s.stage[:s.clients]
+	for r := 0; r < s.resources; r++ {
+		any := false
+		for c := 0; c < s.clients; c++ {
+			reqs[c] = cand[c] == r
+			any = any || reqs[c]
+		}
+		if !any {
+			continue
+		}
+		w := s.resourceArbs[r].Grant(reqs, prio)
+		if w >= 0 {
+			grants[w] = r
+			s.resourceArbs[r].Latch(w)
+			s.clientArbs[w].Latch(r)
+		}
+	}
+}
+
+func (s *Separable) allocateOutputFirst(requests [][]bool, prio []uint64, grants []int) {
+	// Stage 1: each resource picks a candidate client among requesters.
+	cand := s.candidate[:s.resources]
+	reqs := s.stage[:s.clients]
+	for r := 0; r < s.resources; r++ {
+		any := false
+		for c := 0; c < s.clients; c++ {
+			reqs[c] = requests[c][r]
+			any = any || reqs[c]
+		}
+		cand[r] = -1
+		if any {
+			cand[r] = s.resourceArbs[r].Grant(reqs, prio)
+		}
+	}
+	// Stage 2: each client arbitrates among resources that picked it.
+	res := s.stage[:s.resources]
+	for c := 0; c < s.clients; c++ {
+		any := false
+		for r := 0; r < s.resources; r++ {
+			res[r] = cand[r] == c
+			any = any || res[r]
+		}
+		if !any {
+			continue
+		}
+		w := s.clientArbs[c].Grant(res, nil)
+		if w >= 0 {
+			grants[c] = w
+			s.clientArbs[c].Latch(w)
+			s.resourceArbs[w].Latch(c)
+		}
+	}
+}

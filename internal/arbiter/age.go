@@ -1,0 +1,56 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/config"
+)
+
+func init() {
+	Registry.Register("age_based", func(cfg *config.Settings, rng *rand.Rand, size int) Arbiter {
+		return NewAgeBased(size)
+	})
+}
+
+// AgeBased grants the requesting client with the smallest priority metadata
+// value — when the metadata is the packet creation time this is oldest-first
+// arbitration, which is known to fix the bandwidth unfairness of round-robin
+// arbitration in parking-lot scenarios. Ties break to the lowest index for
+// determinism.
+type AgeBased struct {
+	size int
+}
+
+// NewAgeBased creates an age-based arbiter over size clients.
+func NewAgeBased(size int) *AgeBased {
+	if size <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	return &AgeBased{size: size}
+}
+
+// Size returns the number of clients.
+func (a *AgeBased) Size() int { return a.size }
+
+// Grant returns the requester with the smallest metadata value. A nil prio
+// slice degenerates to fixed-priority (lowest index wins).
+func (a *AgeBased) Grant(requests []bool, prio []uint64) int {
+	checkArgs(requests, a.size)
+	best := -1
+	for i, req := range requests {
+		if !req {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		if prio != nil && prio[i] < prio[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Latch is a no-op: age ordering carries no internal state.
+func (a *AgeBased) Latch(winner int) {}

@@ -1,0 +1,51 @@
+// Package arbiter implements the arbiter building block used throughout the
+// router microarchitectures: crossbar schedulers, VC schedulers and
+// allocators are all composed from arbiters.
+//
+// An arbiter selects one winner among up to Size requesting clients per
+// invocation. Implementations self-register with the package Registry so new
+// arbitration policies can be added without modifying existing code.
+package arbiter
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/config"
+	"supersim/internal/factory"
+)
+
+// Arbiter grants one of the requesting clients.
+//
+// The request slice has exactly Size entries; requests[i] reports whether
+// client i is requesting. prio supplies a per-client priority metadata value
+// whose meaning depends on the policy (age-based arbitration uses it as the
+// packet age where a smaller value, i.e. an older packet, wins). Policies
+// that do not use metadata accept a nil prio.
+//
+// Grant returns the winning client index, or -1 when no client requests.
+// Grant must not mutate policy state; the caller invokes Latch(winner) when
+// the grant is actually consumed, which is when stateful policies (round
+// robin) advance.
+type Arbiter interface {
+	Size() int
+	Grant(requests []bool, prio []uint64) int
+	Latch(winner int)
+}
+
+// Ctor is the constructor signature registered by implementations. The rng
+// is the owning simulation's deterministic generator.
+type Ctor func(cfg *config.Settings, rng *rand.Rand, size int) Arbiter
+
+// Registry holds all arbiter implementations.
+var Registry = factory.NewRegistry[Ctor]("arbiter")
+
+// New builds the arbiter named by cfg's "type" setting.
+func New(cfg *config.Settings, rng *rand.Rand, size int) Arbiter {
+	return Registry.MustLookup(cfg.String("type"))(cfg, rng, size)
+}
+
+func checkArgs(requests []bool, size int) {
+	if len(requests) != size {
+		panic("arbiter: request vector size mismatch")
+	}
+}

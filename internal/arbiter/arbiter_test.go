@@ -1,0 +1,219 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"supersim/internal/config"
+)
+
+func req(size int, set ...int) []bool {
+	r := make([]bool, size)
+	for _, i := range set {
+		r[i] = true
+	}
+	return r
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	a := NewRoundRobin(4)
+	all := req(4, 0, 1, 2, 3)
+	var got []int
+	for i := 0; i < 8; i++ {
+		w := a.Grant(all, nil)
+		a.Latch(w)
+		got = append(got, w)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsNonRequesters(t *testing.T) {
+	a := NewRoundRobin(4)
+	w := a.Grant(req(4, 2), nil)
+	if w != 2 {
+		t.Fatalf("grant = %d", w)
+	}
+	a.Latch(w)
+	// pointer now at 3; only 1 requests -> wraps
+	if w := a.Grant(req(4, 1), nil); w != 1 {
+		t.Fatalf("wrap grant = %d", w)
+	}
+}
+
+func TestRoundRobinNoLatchNoAdvance(t *testing.T) {
+	a := NewRoundRobin(3)
+	all := req(3, 0, 1, 2)
+	if a.Grant(all, nil) != 0 || a.Grant(all, nil) != 0 {
+		t.Fatal("Grant must be stateless without Latch")
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	a := NewRoundRobin(3)
+	if w := a.Grant(req(3), nil); w != -1 {
+		t.Fatalf("grant on empty = %d", w)
+	}
+	a.Latch(-1) // must not panic or corrupt state
+	if w := a.Grant(req(3, 1), nil); w != 1 {
+		t.Fatal("state corrupted by Latch(-1)")
+	}
+}
+
+func TestAgeBasedPicksOldest(t *testing.T) {
+	a := NewAgeBased(4)
+	prio := []uint64{50, 10, 99, 10}
+	if w := a.Grant(req(4, 0, 2), prio); w != 0 {
+		t.Fatalf("grant = %d, want 0 (50 < 99)", w)
+	}
+	// tie breaks to lowest index
+	if w := a.Grant(req(4, 1, 3), prio); w != 1 {
+		t.Fatalf("tie grant = %d, want 1", w)
+	}
+	if w := a.Grant(req(4, 0, 1, 2, 3), prio); w != 1 {
+		t.Fatalf("grant = %d, want 1 (age 10)", w)
+	}
+}
+
+func TestAgeBasedNilPrio(t *testing.T) {
+	a := NewAgeBased(3)
+	if w := a.Grant(req(3, 1, 2), nil); w != 1 {
+		t.Fatalf("nil-prio grant = %d, want lowest index", w)
+	}
+}
+
+func TestFixedPriority(t *testing.T) {
+	a := NewFixedPriority(5)
+	if w := a.Grant(req(5, 3, 4), nil); w != 3 {
+		t.Fatalf("grant = %d", w)
+	}
+	if w := a.Grant(req(5), nil); w != -1 {
+		t.Fatalf("empty grant = %d", w)
+	}
+}
+
+func TestRandomIsUniformish(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	a := NewRandom(4, rng)
+	counts := make([]int, 4)
+	r := req(4, 0, 1, 2, 3)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		w := a.Grant(r, nil)
+		if w < 0 || w > 3 {
+			t.Fatalf("grant out of range: %d", w)
+		}
+		counts[w]++
+	}
+	for i, c := range counts {
+		if c < trials/8 || c > trials/2 {
+			t.Fatalf("client %d got %d of %d grants — not uniform: %v", i, c, trials, counts)
+		}
+	}
+}
+
+func TestRandomOnlyGrantsRequesters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := NewRandom(8, rng)
+	r := req(8, 2, 5)
+	for i := 0; i < 100; i++ {
+		w := a.Grant(r, nil)
+		if w != 2 && w != 5 {
+			t.Fatalf("granted non-requester %d", w)
+		}
+	}
+	if w := a.Grant(req(8), nil); w != -1 {
+		t.Fatal("empty grant")
+	}
+}
+
+func TestAllArbitersGrantOnlyRequesters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	arbs := map[string]Arbiter{
+		"round_robin": NewRoundRobin(6),
+		"age_based":   NewAgeBased(6),
+		"fixed":       NewFixedPriority(6),
+		"random":      NewRandom(6, rng),
+	}
+	prop := func(mask uint8, prios [6]uint16) bool {
+		r := make([]bool, 6)
+		any := false
+		for i := 0; i < 6; i++ {
+			r[i] = mask&(1<<i) != 0
+			any = any || r[i]
+		}
+		p := make([]uint64, 6)
+		for i := range p {
+			p[i] = uint64(prios[i])
+		}
+		for _, a := range arbs {
+			w := a.Grant(r, p)
+			if any {
+				if w < 0 || !r[w] {
+					return false
+				}
+				a.Latch(w)
+			} else if w != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactoryConstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, name := range []string{"round_robin", "age_based", "random", "fixed_priority"} {
+		cfg := config.MustParse(`{"type": "` + name + `"}`)
+		a := New(cfg, rng, 4)
+		if a.Size() != 4 {
+			t.Fatalf("%s: Size = %d", name, a.Size())
+		}
+	}
+}
+
+func TestFactoryUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(config.MustParse(`{"type": "bogus"}`), rand.New(rand.NewPCG(1, 1)), 4)
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a := NewRoundRobin(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Grant(req(3, 0), nil)
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRoundRobin(0) },
+		func() { NewAgeBased(-1) },
+		func() { NewFixedPriority(0) },
+		func() { NewRandom(0, rand.New(rand.NewPCG(1, 1))) },
+		func() { NewRandom(4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

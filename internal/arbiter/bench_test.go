@@ -1,0 +1,26 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchGrant(b *testing.B, a Arbiter) {
+	req := make([]bool, a.Size())
+	prio := make([]uint64, a.Size())
+	for i := range req {
+		req[i] = i%3 == 0
+		prio[i] = uint64(i * 37 % 101)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := a.Grant(req, prio)
+		a.Latch(w)
+	}
+}
+
+func BenchmarkRoundRobin64(b *testing.B) { benchGrant(b, NewRoundRobin(64)) }
+func BenchmarkAgeBased64(b *testing.B)   { benchGrant(b, NewAgeBased(64)) }
+func BenchmarkRandomArbiter64(b *testing.B) {
+	benchGrant(b, NewRandom(64, rand.New(rand.NewPCG(1, 2))))
+}

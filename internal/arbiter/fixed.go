@@ -1,0 +1,44 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/config"
+)
+
+func init() {
+	Registry.Register("fixed_priority", func(cfg *config.Settings, rng *rand.Rand, size int) Arbiter {
+		return NewFixedPriority(size)
+	})
+}
+
+// FixedPriority always grants the lowest-indexed requester. It is unfair by
+// design and exists as a baseline and for deterministic unit fixtures.
+type FixedPriority struct {
+	size int
+}
+
+// NewFixedPriority creates a fixed-priority arbiter over size clients.
+func NewFixedPriority(size int) *FixedPriority {
+	if size <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	return &FixedPriority{size: size}
+}
+
+// Size returns the number of clients.
+func (a *FixedPriority) Size() int { return a.size }
+
+// Grant returns the lowest-indexed requester.
+func (a *FixedPriority) Grant(requests []bool, prio []uint64) int {
+	checkArgs(requests, a.size)
+	for i, req := range requests {
+		if req {
+			return i
+		}
+	}
+	return -1
+}
+
+// Latch is a no-op.
+func (a *FixedPriority) Latch(winner int) {}

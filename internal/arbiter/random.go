@@ -1,0 +1,54 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/config"
+)
+
+func init() {
+	Registry.Register("random", func(cfg *config.Settings, rng *rand.Rand, size int) Arbiter {
+		return NewRandom(size, rng)
+	})
+}
+
+// Random grants a uniformly random requesting client. It draws from the
+// owning simulation's deterministic generator, so simulations remain
+// reproducible.
+type Random struct {
+	size int
+	rng  *rand.Rand
+	idx  []int // scratch
+}
+
+// NewRandom creates a random arbiter over size clients.
+func NewRandom(size int, rng *rand.Rand) *Random {
+	if size <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	if rng == nil {
+		panic("arbiter: random arbiter requires an rng")
+	}
+	return &Random{size: size, rng: rng, idx: make([]int, 0, size)}
+}
+
+// Size returns the number of clients.
+func (a *Random) Size() int { return a.size }
+
+// Grant returns a uniformly random requester.
+func (a *Random) Grant(requests []bool, prio []uint64) int {
+	checkArgs(requests, a.size)
+	a.idx = a.idx[:0]
+	for i, req := range requests {
+		if req {
+			a.idx = append(a.idx, i)
+		}
+	}
+	if len(a.idx) == 0 {
+		return -1
+	}
+	return a.idx[a.rng.IntN(len(a.idx))]
+}
+
+// Latch is a no-op.
+func (a *Random) Latch(winner int) {}

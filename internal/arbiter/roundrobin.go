@@ -1,0 +1,51 @@
+package arbiter
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/config"
+)
+
+func init() {
+	Registry.Register("round_robin", func(cfg *config.Settings, rng *rand.Rand, size int) Arbiter {
+		return NewRoundRobin(size)
+	})
+}
+
+// RoundRobin grants the first requesting client at or after a rotating
+// pointer. The pointer advances past the winner only when the grant is
+// latched, giving the classic fair round-robin policy.
+type RoundRobin struct {
+	size int
+	next int
+}
+
+// NewRoundRobin creates a round-robin arbiter over size clients.
+func NewRoundRobin(size int) *RoundRobin {
+	if size <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	return &RoundRobin{size: size}
+}
+
+// Size returns the number of clients.
+func (a *RoundRobin) Size() int { return a.size }
+
+// Grant returns the first requester at or after the rotating pointer.
+func (a *RoundRobin) Grant(requests []bool, prio []uint64) int {
+	checkArgs(requests, a.size)
+	for i := 0; i < a.size; i++ {
+		idx := (a.next + i) % a.size
+		if requests[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Latch advances the pointer past the consumed winner.
+func (a *RoundRobin) Latch(winner int) {
+	if winner >= 0 && winner < a.size {
+		a.next = (winner + 1) % a.size
+	}
+}

@@ -1,0 +1,31 @@
+package config_test
+
+import (
+	"fmt"
+
+	"supersim/internal/config"
+)
+
+// Settings are hierarchical JSON; blocks are passed to component
+// constructors without the parents peeking inside them.
+func Example() {
+	s := config.MustParse(`{
+	  "network": {
+	    "topology": "torus",
+	    "router": {"architecture": "input_queued", "num_vcs": 2}
+	  }
+	}`)
+	router := s.Sub("network.router")
+	fmt.Println(router.String("architecture"), router.UInt("num_vcs"))
+	// Output: input_queued 2
+}
+
+// Command line overrides use the path=type=value syntax from the paper's
+// Listing 1.
+func ExampleSettings_ApplyOverride() {
+	s := config.MustParse(`{"network": {"concentration": 4}}`)
+	_ = s.ApplyOverride("network.router.architecture=string=my_arch")
+	_ = s.ApplyOverride("network.concentration=uint=16")
+	fmt.Println(s.String("network.router.architecture"), s.UInt("network.concentration"))
+	// Output: my_arch 16
+}

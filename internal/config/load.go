@@ -1,0 +1,169 @@
+package config
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadFile reads a JSON settings file and post-processes it:
+//
+//   - File inclusion: an object containing a "$include" key whose value is a
+//     file path (relative to the including file) is replaced by that file's
+//     contents, with the including object's other keys merged over it.
+//   - Object referencing: an object of the form {"$ref": "a.b.c"} is replaced
+//     by a deep copy of the value at the absolute dotted path a.b.c in the
+//     fully-included document. References may point at referenced values;
+//     cycles are detected and reported.
+func LoadFile(path string) (*Settings, error) {
+	node, err := loadRaw(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := node.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("config: %s: top level must be a JSON object", path)
+	}
+	s := FromMap(m)
+	if err := s.ResolveRefs(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func loadRaw(path string, stack []string) (any, error) {
+	for _, p := range stack {
+		if p == path {
+			return nil, fmt.Errorf("config: include cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return expandIncludes(s.Map(), filepath.Dir(path), append(stack, path))
+}
+
+func expandIncludes(v any, dir string, stack []string) (any, error) {
+	switch t := v.(type) {
+	case map[string]any:
+		if inc, ok := t["$include"]; ok {
+			incPath, ok := inc.(string)
+			if !ok {
+				return nil, fmt.Errorf("config: $include value must be a string, got %T", inc)
+			}
+			if !filepath.IsAbs(incPath) {
+				incPath = filepath.Join(dir, incPath)
+			}
+			base, err := loadRaw(incPath, stack)
+			if err != nil {
+				return nil, err
+			}
+			baseMap, ok := base.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("config: %s: included file must hold a JSON object", incPath)
+			}
+			// The including object's other keys override the included file.
+			overlay := make(map[string]any, len(t)-1)
+			for k, val := range t {
+				if k == "$include" {
+					continue
+				}
+				ev, err := expandIncludes(val, dir, stack)
+				if err != nil {
+					return nil, err
+				}
+				overlay[k] = ev
+			}
+			return mergeMaps(baseMap, overlay), nil
+		}
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			ev, err := expandIncludes(val, dir, stack)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = ev
+		}
+		return out, nil
+	case []any:
+		out := make([]any, len(t))
+		for i, val := range t {
+			ev, err := expandIncludes(val, dir, stack)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ev
+		}
+		return out, nil
+	default:
+		return v, nil
+	}
+}
+
+// mergeMaps deep-merges overlay into base (overlay wins; nested objects merge
+// recursively). base is mutated and returned.
+func mergeMaps(base, overlay map[string]any) map[string]any {
+	for k, ov := range overlay {
+		if bm, ok := base[k].(map[string]any); ok {
+			if om, ok := ov.(map[string]any); ok {
+				base[k] = mergeMaps(bm, om)
+				continue
+			}
+		}
+		base[k] = ov
+	}
+	return base
+}
+
+// ResolveRefs replaces every {"$ref": "a.b.c"} object in the document with a
+// deep copy of the referenced value. Paths are absolute in this document.
+func (s *Settings) ResolveRefs() error {
+	const maxDepth = 64
+	var resolve func(v any, depth int) (any, error)
+	resolve = func(v any, depth int) (any, error) {
+		if depth > maxDepth {
+			return nil, fmt.Errorf("config: $ref chain too deep (cycle?)")
+		}
+		switch t := v.(type) {
+		case map[string]any:
+			if ref, ok := t["$ref"]; ok && len(t) == 1 {
+				refPath, ok := ref.(string)
+				if !ok {
+					return nil, fmt.Errorf("config: $ref value must be a string, got %T", ref)
+				}
+				target, ok := s.lookup(refPath)
+				if !ok {
+					return nil, fmt.Errorf("config: $ref %q: no such path", refPath)
+				}
+				return resolve(deepCopy(target), depth+1)
+			}
+			for k, val := range t {
+				rv, err := resolve(val, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				t[k] = rv
+			}
+			return t, nil
+		case []any:
+			for i, val := range t {
+				rv, err := resolve(val, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = rv
+			}
+			return t, nil
+		default:
+			return v, nil
+		}
+	}
+	_, err := resolve(s.node, 0)
+	return err
+}

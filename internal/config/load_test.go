@@ -1,0 +1,214 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadFileBasic(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "a.json", `{"x": 1, "y": {"z": "s"}}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UInt("x") != 1 || s.String("y.z") != "s" {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/file.json"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIncludeMergesAndOverrides(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "base.json", `{
+	  "router": {"architecture": "input_queued", "num_vcs": 2},
+	  "latency": 50
+	}`)
+	p := writeFile(t, dir, "top.json", `{
+	  "network": {
+	    "$include": "base.json",
+	    "router": {"num_vcs": 8},
+	    "extra": true
+	  }
+	}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base value preserved
+	if s.String("network.router.architecture") != "input_queued" {
+		t.Error("included value lost")
+	}
+	// overlay wins
+	if s.UInt("network.router.num_vcs") != 8 {
+		t.Error("overlay did not override include")
+	}
+	if s.UInt("network.latency") != 50 {
+		t.Error("included sibling lost")
+	}
+	if !s.Bool("network.extra") {
+		t.Error("overlay sibling lost")
+	}
+}
+
+func TestNestedIncludes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "inner.json", `{"deep": 3}`)
+	writeFile(t, dir, "mid.json", `{"inner": {"$include": "inner.json"}, "mid": 2}`)
+	p := writeFile(t, dir, "outer.json", `{"a": {"$include": "mid.json"}}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UInt("a.inner.deep") != 3 || s.UInt("a.mid") != 2 {
+		t.Fatal("nested include values wrong")
+	}
+}
+
+func TestIncludeCycleDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.json", `{"b": {"$include": "b.json"}}`)
+	p := writeFile(t, dir, "b.json", `{"a": {"$include": "a.json"}}`)
+	_, err := LoadFile(p)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestIncludeInArray(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "app.json", `{"type": "blast", "rate": 0.5}`)
+	p := writeFile(t, dir, "top.json", `{"apps": [{"$include": "app.json"}, {"type": "pulse"}]}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := s.Array("apps")
+	if len(apps) != 2 {
+		t.Fatalf("apps len %d", len(apps))
+	}
+	first := FromMap(apps[0].(map[string]any))
+	if first.String("type") != "blast" || first.Float("rate") != 0.5 {
+		t.Fatal("array include wrong")
+	}
+}
+
+func TestRefResolution(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "c.json", `{
+	  "defaults": {"buffer": {"depth": 128, "kind": "fifo"}},
+	  "router": {
+	    "input_buffer": {"$ref": "defaults.buffer"},
+	    "output_buffer": {"$ref": "defaults.buffer"}
+	  }
+	}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UInt("router.input_buffer.depth") != 128 {
+		t.Fatal("ref not resolved")
+	}
+	// The copies must be independent.
+	s.Set("router.input_buffer.depth", 64)
+	if s.UInt("router.output_buffer.depth") != 128 {
+		t.Fatal("refs share storage")
+	}
+}
+
+func TestRefToRef(t *testing.T) {
+	p := writeFile(t, t.TempDir(), "c.json", `{
+	  "a": 5,
+	  "b": {"$ref": "a"},
+	  "c": {"$ref": "b"}
+	}`)
+	s, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UInt("c") != 5 {
+		t.Fatalf("c = %v", s.UInt("c"))
+	}
+}
+
+func TestRefMissingPath(t *testing.T) {
+	p := writeFile(t, t.TempDir(), "c.json", `{"a": {"$ref": "no.such.path"}}`)
+	if _, err := LoadFile(p); err == nil || !strings.Contains(err.Error(), "no such path") {
+		t.Fatalf("expected ref error, got %v", err)
+	}
+}
+
+func TestRefCycle(t *testing.T) {
+	p := writeFile(t, t.TempDir(), "c.json", `{"a": {"$ref": "b"}, "b": {"$ref": "a"}}`)
+	if _, err := LoadFile(p); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	s := MustParse(`{"network": {"concentration": 4, "router": {"architecture": "oq"}}}`)
+	err := s.ApplyOverrides([]string{
+		"network.router.architecture=string=my_arch",
+		"network.concentration=uint=16",
+		"network.enable=bool=true",
+		"network.scale=float=0.75",
+		"network.offset=int=-2",
+		"network.widths=json=[4,4]",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String("network.router.architecture") != "my_arch" {
+		t.Error("string override")
+	}
+	if s.UInt("network.concentration") != 16 {
+		t.Error("uint override")
+	}
+	if !s.Bool("network.enable") {
+		t.Error("bool override")
+	}
+	if s.Float("network.scale") != 0.75 {
+		t.Error("float override")
+	}
+	if s.Int("network.offset") != -2 {
+		t.Error("int override")
+	}
+	if w := s.UIntList("network.widths"); len(w) != 2 || w[0] != 4 {
+		t.Error("json override")
+	}
+}
+
+func TestOverrideErrors(t *testing.T) {
+	s := New()
+	for _, bad := range []string{
+		"noequals",
+		"a=b",
+		"a=uint=notanumber",
+		"a=int=x",
+		"a=float=x",
+		"a=bool=x",
+		"a=json={bad",
+		"a=mystery=1",
+		"=uint=1",
+	} {
+		if err := s.ApplyOverride(bad); err == nil {
+			t.Errorf("override %q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ApplyOverride applies one command line override of the form
+//
+//	path.to.setting=type=value
+//
+// where type is one of uint, int, float, string, bool or json. For example:
+//
+//	network.router.architecture=string=my_arch
+//	network.concentration=uint=16
+//	workload.applications.0.enabled=bool=true   (array indexing unsupported;
+//	                                             use object keys)
+func (s *Settings) ApplyOverride(arg string) error {
+	parts := strings.SplitN(arg, "=", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("config: override %q: want path=type=value", arg)
+	}
+	path, typ, raw := parts[0], parts[1], parts[2]
+	if path == "" {
+		return fmt.Errorf("config: override %q: empty path", arg)
+	}
+	var value any
+	switch typ {
+	case "uint":
+		u, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("config: override %q: %v", arg, err)
+		}
+		value = u
+	case "int":
+		i, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("config: override %q: %v", arg, err)
+		}
+		value = i
+	case "float":
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("config: override %q: %v", arg, err)
+		}
+		value = f
+	case "string":
+		value = raw
+	case "bool":
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return fmt.Errorf("config: override %q: %v", arg, err)
+		}
+		value = b
+	case "json":
+		sub, err := Parse([]byte(`{"v":` + raw + `}`))
+		if err != nil {
+			return fmt.Errorf("config: override %q: %v", arg, err)
+		}
+		value = sub.Map()["v"]
+	default:
+		return fmt.Errorf("config: override %q: unknown type %q", arg, typ)
+	}
+	s.Set(path, value)
+	return nil
+}
+
+// ApplyOverrides applies a list of command line overrides in order.
+func (s *Settings) ApplyOverrides(args []string) error {
+	for _, a := range args {
+		if err := s.ApplyOverride(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

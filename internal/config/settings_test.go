@@ -1,0 +1,275 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sample = `{
+  "network": {
+    "topology": "torus",
+    "concentration": 4,
+    "channel": {"latency": 50, "scale": 1.5},
+    "router": {
+      "architecture": "input_queued",
+      "num_vcs": 2,
+      "adaptive": true,
+      "widths": [8, 8, 8, 8],
+      "names": ["a", "b"],
+      "rates": [0.5, 1.0]
+    }
+  },
+  "workload": {"message_size": 1}
+}`
+
+func TestParseAndGetters(t *testing.T) {
+	s := MustParse(sample)
+	if got := s.String("network.topology"); got != "torus" {
+		t.Errorf("topology = %q", got)
+	}
+	if got := s.UInt("network.concentration"); got != 4 {
+		t.Errorf("concentration = %d", got)
+	}
+	if got := s.Float("network.channel.scale"); got != 1.5 {
+		t.Errorf("scale = %v", got)
+	}
+	if got := s.Bool("network.router.adaptive"); got != true {
+		t.Errorf("adaptive = %v", got)
+	}
+	if got := s.Int("workload.message_size"); got != 1 {
+		t.Errorf("message_size = %d", got)
+	}
+}
+
+func TestSubBlocks(t *testing.T) {
+	s := MustParse(sample)
+	router := s.Sub("network.router")
+	if got := router.String("architecture"); got != "input_queued" {
+		t.Errorf("architecture = %q", got)
+	}
+	if router.Path() != "network.router" {
+		t.Errorf("Path = %q", router.Path())
+	}
+	// Sub of sub
+	net := s.Sub("network")
+	ch := net.Sub("channel")
+	if got := ch.UInt("latency"); got != 50 {
+		t.Errorf("latency = %d", got)
+	}
+	if ch.Path() != "network.channel" {
+		t.Errorf("nested Path = %q", ch.Path())
+	}
+}
+
+func TestSubOrEmpty(t *testing.T) {
+	s := MustParse(sample)
+	e := s.SubOr("network.nonexistent")
+	if len(e.Map()) != 0 {
+		t.Fatal("SubOr of missing path should be empty")
+	}
+	if e.UIntOr("x", 9) != 9 {
+		t.Fatal("default on empty SubOr")
+	}
+}
+
+func TestLists(t *testing.T) {
+	s := MustParse(sample)
+	w := s.UIntList("network.router.widths")
+	if len(w) != 4 || w[0] != 8 {
+		t.Errorf("widths = %v", w)
+	}
+	n := s.StringList("network.router.names")
+	if len(n) != 2 || n[1] != "b" {
+		t.Errorf("names = %v", n)
+	}
+	r := s.FloatList("network.router.rates")
+	if len(r) != 2 || r[0] != 0.5 {
+		t.Errorf("rates = %v", r)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := MustParse(sample)
+	if s.UIntOr("network.missing", 7) != 7 {
+		t.Error("UIntOr default")
+	}
+	if s.StringOr("network.missing", "x") != "x" {
+		t.Error("StringOr default")
+	}
+	if s.FloatOr("network.missing", 2.5) != 2.5 {
+		t.Error("FloatOr default")
+	}
+	if s.BoolOr("network.missing", true) != true {
+		t.Error("BoolOr default")
+	}
+	if s.IntOr("network.missing", -3) != -3 {
+		t.Error("IntOr default")
+	}
+	// present values ignore defaults
+	if s.UIntOr("network.concentration", 7) != 4 {
+		t.Error("UIntOr present")
+	}
+}
+
+func TestMissingPanicsWithPath(t *testing.T) {
+	s := MustParse(sample)
+	checkPanicPath := func(fn func(), wantPath string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic")
+			}
+			ce, ok := r.(*Error)
+			if !ok {
+				t.Fatalf("panic value %T, want *Error", r)
+			}
+			if ce.Path != wantPath {
+				t.Fatalf("error path %q, want %q", ce.Path, wantPath)
+			}
+		}()
+		fn()
+	}
+	checkPanicPath(func() { s.String("network.nope") }, "network.nope")
+	checkPanicPath(func() { s.UInt("network.topology") }, "network.topology")
+	checkPanicPath(func() { s.Sub("network.topology") }, "network.topology")
+	r := s.Sub("network.router")
+	checkPanicPath(func() { r.String("ghost") }, "network.router.ghost")
+}
+
+func TestTypeMismatches(t *testing.T) {
+	s := MustParse(sample)
+	for _, fn := range []func(){
+		func() { s.Bool("network.topology") },
+		func() { s.Array("network.topology") },
+		func() { s.Int("network.router.names") },
+		func() { s.UInt("network.channel.scale") }, // 1.5 is not a uint
+		func() { s.StringList("network.router.widths") },
+		func() { s.UIntList("network.router.names") },
+		func() { s.FloatList("network.router.names") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected type-mismatch panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetCreatesPath(t *testing.T) {
+	s := New()
+	s.Set("a.b.c", 42)
+	if got := s.UInt("a.b.c"); got != 42 {
+		t.Fatalf("a.b.c = %d", got)
+	}
+	s.Set("a.b.d", "hello")
+	if got := s.String("a.b.d"); got != "hello" {
+		t.Fatalf("a.b.d = %q", got)
+	}
+	s.Set("a.b.c", 43) // overwrite
+	if got := s.UInt("a.b.c"); got != 43 {
+		t.Fatalf("overwrite = %d", got)
+	}
+}
+
+func TestSetNumericNormalization(t *testing.T) {
+	s := New()
+	s.Set("u", uint64(1<<62))
+	s.Set("i", int64(-5))
+	s.Set("f", 3.25)
+	s.Set("n", 7)
+	if s.UInt("u") != 1<<62 {
+		t.Error("uint64 round trip")
+	}
+	if s.Int("i") != -5 {
+		t.Error("int64 round trip")
+	}
+	if s.Float("f") != 3.25 {
+		t.Error("float round trip")
+	}
+	if s.UInt("n") != 7 || s.Int("n") != 7 {
+		t.Error("int round trip")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := MustParse(sample)
+	c := s.Clone()
+	c.Set("network.topology", "dragonfly")
+	if s.String("network.topology") != "torus" {
+		t.Fatal("Clone shares state with original")
+	}
+	if c.String("network.topology") != "dragonfly" {
+		t.Fatal("Clone lost mutation")
+	}
+	// nested arrays too
+	c.Array("network.router.widths")[0] = "mutated"
+	if _, ok := s.Array("network.router.widths")[0].(string); ok {
+		t.Fatal("Clone shares nested arrays")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := MustParse(`{"c": 1, "a": 2, "b": 3}`)
+	got := s.Keys()
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := MustParse(sample)
+	out := s.JSON()
+	s2, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if s2.UInt("network.concentration") != 4 {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestBigIntegerPrecision(t *testing.T) {
+	// Values beyond float64's 53-bit mantissa must survive.
+	s := MustParse(`{"big": 9007199254740993}`)
+	if got := s.UInt("big"); got != 9007199254740993 {
+		t.Fatalf("big = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not json")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Parse([]byte(`[1,2,3]`)); err == nil {
+		t.Error("expected object-required error")
+	}
+}
+
+func TestSetGetProperty(t *testing.T) {
+	// Property: Set then UInt returns the value, for any key and value.
+	prop := func(key uint8, val uint32) bool {
+		s := New()
+		path := "k" + strings.Repeat("x", int(key%5)) + ".leaf"
+		s.Set(path, uint64(val))
+		return s.UInt(path) == uint64(val)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMapNil(t *testing.T) {
+	s := FromMap(nil)
+	if s.Has("anything") {
+		t.Fatal("nil map should be empty")
+	}
+	s.Set("x", 1)
+	if s.UInt("x") != 1 {
+		t.Fatal("Set on nil-backed settings")
+	}
+}

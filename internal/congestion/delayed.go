@@ -1,0 +1,92 @@
+// Package congestion implements the congestion sensor components that feed
+// adaptive routing algorithms.
+//
+// A sensor converts the router's live credit/occupancy state into the
+// congestion estimates the routing engines consult. Two properties from the
+// paper's case studies are modeled explicitly:
+//
+//   - Sensing latency (case study A): the propagation of congestion
+//     information from the point of calculation inside the microarchitecture
+//     to all the routing engines takes 5-20 clock cycles in real switches,
+//     not the single cycle most simulators assume. The sensor exposes a
+//     delayed view: the value visible at time t is the value that was
+//     current at time t - latency.
+//
+//   - Credit accounting style (case study B): congestion may be accounted
+//     per-VC or per-port, and may consider output queue occupancy, downstream
+//     (next hop) credits, or both.
+package congestion
+
+import "supersim/internal/sim"
+
+// DelayedValue is a scalar whose readers see writes only after a fixed
+// delay: Get(now) returns the value that was current at time now - delay.
+// Writes and reads must use nondecreasing times (simulation time).
+type DelayedValue struct {
+	delay sim.Tick
+	hist  []entry
+}
+
+type entry struct {
+	t sim.Tick
+	v float64
+}
+
+// NewDelayedValue creates a value with the given visibility delay and
+// initial content.
+func NewDelayedValue(delay sim.Tick, initial float64) *DelayedValue {
+	return &DelayedValue{delay: delay, hist: []entry{{0, initial}}}
+}
+
+// Set records a new value at the given time.
+func (d *DelayedValue) Set(now sim.Tick, v float64) {
+	n := len(d.hist)
+	if n > 0 && d.hist[n-1].t > now {
+		panic("congestion: DelayedValue.Set time went backwards")
+	}
+	if n > 0 && d.hist[n-1].t == now {
+		d.hist[n-1].v = v
+	} else {
+		d.hist = append(d.hist, entry{now, v})
+	}
+	d.prune(now)
+}
+
+// Get returns the value visible at the given time: the most recent write at
+// or before now - delay.
+func (d *DelayedValue) Get(now sim.Tick) float64 {
+	horizon := sim.Tick(0)
+	if now >= d.delay {
+		horizon = now - d.delay
+	}
+	// Scan from the end: histories are short because Set prunes.
+	for i := len(d.hist) - 1; i >= 0; i-- {
+		if d.hist[i].t <= horizon {
+			return d.hist[i].v
+		}
+	}
+	return d.hist[0].v
+}
+
+// Raw returns the most recently written value, ignoring the delay.
+func (d *DelayedValue) Raw() float64 { return d.hist[len(d.hist)-1].v }
+
+// prune drops history entries that can never be read again: everything
+// strictly older than the newest entry at or before now - delay.
+func (d *DelayedValue) prune(now sim.Tick) {
+	horizon := sim.Tick(0)
+	if now >= d.delay {
+		horizon = now - d.delay
+	}
+	cut := 0
+	for i := 1; i < len(d.hist); i++ {
+		if d.hist[i].t <= horizon {
+			cut = i
+		} else {
+			break
+		}
+	}
+	if cut > 0 {
+		d.hist = d.hist[cut:]
+	}
+}

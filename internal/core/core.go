@@ -1,0 +1,95 @@
+// Package core assembles complete simulations from JSON settings: it builds
+// the simulator, the network (topology, routers, interfaces, channels) and
+// the workload (applications, terminals), runs the four-phase protocol to
+// completion, and reports the outcome.
+//
+// The top level of any network simulation holds two blocks — "network" and
+// "workload" — plus an optional "simulation" block for the seed:
+//
+//	{
+//	  "simulation": {"seed": 1},
+//	  "network":    {"topology": "...", "router": {...}, ...},
+//	  "workload":   {"applications": [{"type": "blast", ...}]}
+//	}
+package core
+
+import (
+	"fmt"
+
+	"supersim/internal/config"
+	"supersim/internal/network"
+	"supersim/internal/sim"
+	"supersim/internal/workload"
+
+	// Component model registrations: each topology and application model
+	// self-registers from its own package, so assembling a simulator is just
+	// importing the models it should know about.
+	_ "supersim/internal/network/dragonfly"
+	_ "supersim/internal/network/foldedclos"
+	_ "supersim/internal/network/hyperx"
+	_ "supersim/internal/network/parkinglot"
+	_ "supersim/internal/network/torus"
+	_ "supersim/internal/workload/apps"
+)
+
+// Simulation is a fully assembled simulation.
+type Simulation struct {
+	Sim      *sim.Simulator
+	Net      network.Network
+	Workload *workload.Workload
+}
+
+// Build assembles a simulation from the full settings document. It panics
+// (with *config.Error where applicable) on invalid settings; use BuildE for
+// an error-returning wrapper.
+func Build(cfg *config.Settings) *Simulation {
+	seed := cfg.UIntOr("simulation.seed", 1)
+	s := sim.NewSimulator(seed)
+	net := network.New(s, cfg.Sub("network"))
+	w := workload.New(s, cfg.Sub("workload"), net)
+	return &Simulation{Sim: s, Net: net, Workload: w}
+}
+
+// BuildE is Build with panics recovered into errors.
+func BuildE(cfg *config.Settings) (sm *Simulation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: build failed: %v", r)
+		}
+	}()
+	return Build(cfg), nil
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Events  uint64   // events executed
+	EndTick sim.Tick // simulated time at completion
+	Drained bool     // the workload reached the draining phase
+}
+
+// Run executes the simulation until the event queue runs empty and verifies
+// the workload protocol completed. It returns an error when the queue
+// drained in an earlier phase, which indicates stalled traffic (for example
+// a deadlock or a misconfigured application).
+func (sm *Simulation) Run() (Result, error) {
+	events := sm.Sim.Run()
+	res := Result{
+		Events:  events,
+		EndTick: sm.Sim.Now().Tick,
+		Drained: sm.Workload.Phase() == workload.Draining,
+	}
+	if !res.Drained {
+		return res, fmt.Errorf("core: event queue drained during %v phase — traffic stalled",
+			sm.Workload.Phase())
+	}
+	// Post-drain quiescence: every router and interface must be completely
+	// idle — empty queues, no held allocations, all credits returned. Any
+	// leak panics with component context.
+	for i := 0; i < sm.Net.NumRouters(); i++ {
+		sm.Net.Router(i).VerifyIdle()
+	}
+	for i := 0; i < sm.Net.NumTerminals(); i++ {
+		sm.Net.Interface(i).VerifyIdle()
+	}
+	return res, nil
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/workload/apps"
+)
+
+// buildAndRun assembles the config, runs it, and returns the simulation.
+func buildAndRun(t *testing.T, doc string) *Simulation {
+	t.Helper()
+	sm := Build(config.MustParse(doc))
+	if _, err := sm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// tinyTorusConfig is a 4x4 torus with IQ routers and a light blast load.
+func tinyTorusConfig(extra string) string {
+	return `{
+	  "simulation": {"seed": 7},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [4, 4],
+	    "concentration": 1,
+	    "channel": {"latency": 10, "period": 2},
+	    "injection": {"latency": 2},
+	    "interface": {"receive_buffer_depth": 16},
+	    "router": {
+	      "architecture": "input_queued",
+	      "num_vcs": 2,
+	      "input_buffer_depth": 8,
+	      "crossbar_latency": 4
+	    }
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.2,
+	      "message_size": 1,
+	      "warmup_duration": 500,
+	      "sample_duration": 2000,
+	      "traffic": {"type": "uniform_random"}
+	      ` + extra + `
+	    }]
+	  }
+	}`
+}
+
+func TestTorusIQEndToEnd(t *testing.T) {
+	sm := buildAndRun(t, tinyTorusConfig(""))
+	blast := sm.Workload.App(0).(*apps.Blast)
+	if blast.Stats().Count() < 50 {
+		t.Fatalf("only %d sampled messages", blast.Stats().Count())
+	}
+	sum := blast.Stats().Summarize()
+	if sum.Mean <= 0 || sum.Max < sum.Min || sum.P99 < sum.P50 {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+	// Minimum possible latency: injection + a couple of router traversals.
+	if sum.Min < 10 {
+		t.Fatalf("min latency %v is below physical minimum", sum.Min)
+	}
+	if blast.Skipped() > 0 {
+		t.Fatalf("low load should not saturate, skipped=%d", blast.Skipped())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := buildAndRun(t, tinyTorusConfig(""))
+	b := buildAndRun(t, tinyTorusConfig(""))
+	sa := a.Workload.App(0).(*apps.Blast).Stats().Summarize()
+	sb := b.Workload.App(0).(*apps.Blast).Stats().Summarize()
+	if sa != sb {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	a := buildAndRun(t, tinyTorusConfig(""))
+	doc := strings.Replace(tinyTorusConfig(""), `"seed": 7`, `"seed": 8`, 1)
+	b := buildAndRun(t, doc)
+	sa := a.Workload.App(0).(*apps.Blast).Stats().Summarize()
+	sb := b.Workload.App(0).(*apps.Blast).Stats().Summarize()
+	if sa == sb {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestMultiFlitMessagesOnTorus(t *testing.T) {
+	doc := strings.Replace(tinyTorusConfig(""), `"message_size": 1`, `"message_size": 4`, 1)
+	sm := buildAndRun(t, doc)
+	blast := sm.Workload.App(0).(*apps.Blast)
+	if blast.Stats().Count() < 20 {
+		t.Fatalf("only %d sampled messages", blast.Stats().Count())
+	}
+	for _, s := range blast.Stats().Samples() {
+		if s.Flits != 4 {
+			t.Fatalf("sample flits = %d, want 4", s.Flits)
+		}
+	}
+}
+
+func TestFlowControlModesRun(t *testing.T) {
+	for _, fc := range []string{"flit_buffer", "packet_buffer", "winner_take_all"} {
+		doc := strings.Replace(tinyTorusConfig(""),
+			`"architecture": "input_queued",`,
+			`"architecture": "input_queued", "flow_control": "`+fc+`",`, 1)
+		doc = strings.Replace(doc, `"message_size": 1`, `"message_size": 3`, 1)
+		sm := buildAndRun(t, doc)
+		if sm.Workload.App(0).(*apps.Blast).Stats().Count() == 0 {
+			t.Fatalf("%s: no samples", fc)
+		}
+	}
+}
+
+func TestFoldedClosOQEndToEnd(t *testing.T) {
+	doc := `{
+	  "simulation": {"seed": 3},
+	  "network": {
+	    "topology": "folded_clos",
+	    "half_radix": 2,
+	    "levels": 3,
+	    "channel": {"latency": 10, "period": 2},
+	    "injection": {"latency": 2},
+	    "router": {
+	      "architecture": "output_queued",
+	      "num_vcs": 1,
+	      "input_buffer_depth": 16,
+	      "queue_latency": 10,
+	      "output_queue_depth": 32,
+	      "congestion_sensor": {"granularity": "port", "source": "output", "latency": 4}
+	    }
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.3,
+	      "message_size": 1,
+	      "warmup_duration": 500,
+	      "sample_duration": 2000,
+	      "traffic": {"type": "cross_subtree", "group_size": 4}
+	    }]
+	  }
+	}`
+	sm := buildAndRun(t, doc)
+	blast := sm.Workload.App(0).(*apps.Blast)
+	if blast.Stats().Count() < 20 {
+		t.Fatalf("only %d samples", blast.Stats().Count())
+	}
+	// Cross-subtree traffic on a 3-level tree traverses 5 routers:
+	// leaf, mid, root, mid, leaf.
+	if h := blast.Stats().MeanHops(); h != 5 {
+		t.Fatalf("mean hops %v, want exactly 5 (through the root)", h)
+	}
+}
+
+func TestHyperXIOQWithUGAL(t *testing.T) {
+	doc := `{
+	  "simulation": {"seed": 5},
+	  "network": {
+	    "topology": "hyperx",
+	    "widths": [8],
+	    "concentration": 2,
+	    "channel": {"latency": 10, "period": 2},
+	    "injection": {"latency": 2},
+	    "router": {
+	      "architecture": "input_output_queued",
+	      "num_vcs": 2,
+	      "speedup": 2,
+	      "input_buffer_depth": 8,
+	      "output_queue_depth": 16,
+	      "crossbar_latency": 4,
+	      "congestion_sensor": {"granularity": "port", "source": "both"},
+	      "routing": {}
+	    },
+	    "routing": {"algorithm": "ugal"}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.3,
+	      "message_size": 1,
+	      "warmup_duration": 500,
+	      "sample_duration": 3000,
+	      "traffic": {"type": "bit_complement"}
+	    }]
+	  }
+	}`
+	sm := buildAndRun(t, doc)
+	blast := sm.Workload.App(0).(*apps.Blast)
+	if blast.Stats().Count() < 20 {
+		t.Fatalf("only %d samples", blast.Stats().Count())
+	}
+}
+
+func TestDragonflyMinimalEndToEnd(t *testing.T) {
+	doc := `{
+	  "simulation": {"seed": 11},
+	  "network": {
+	    "topology": "dragonfly",
+	    "concentration": 2,
+	    "group_size": 2,
+	    "global_links": 1,
+	    "channel": {"latency": 10, "period": 2},
+	    "injection": {"latency": 2},
+	    "router": {
+	      "architecture": "input_queued",
+	      "num_vcs": 2,
+	      "input_buffer_depth": 8,
+	      "crossbar_latency": 2
+	    },
+	    "routing": {"algorithm": "minimal"}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.15,
+	      "message_size": 1,
+	      "warmup_duration": 500,
+	      "sample_duration": 2000,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	sm := buildAndRun(t, doc)
+	if sm.Workload.App(0).(*apps.Blast).Stats().Count() < 20 {
+		t.Fatal("too few samples")
+	}
+}
+
+func TestBlastPlusPulseTransient(t *testing.T) {
+	doc := `{
+	  "simulation": {"seed": 13},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [4],
+	    "concentration": 1,
+	    "channel": {"latency": 10, "period": 2},
+	    "injection": {"latency": 2},
+	    "router": {
+	      "architecture": "input_queued",
+	      "num_vcs": 2,
+	      "input_buffer_depth": 8,
+	      "crossbar_latency": 2
+	    }
+	  },
+	  "workload": {
+	    "applications": [
+	      {
+	        "type": "blast",
+	        "injection_rate": 0.2,
+	        "message_size": 1,
+	        "warmup_duration": 400,
+	        "sample_duration": 3000,
+	        "traffic": {"type": "uniform_random"}
+	      },
+	      {
+	        "type": "pulse",
+	        "injection_rate": 0.5,
+	        "message_size": 1,
+	        "count": 30,
+	        "delay": 500,
+	        "traffic": {"type": "uniform_random"}
+	      }
+	    ]
+	  }
+	}`
+	sm := buildAndRun(t, doc)
+	blast := sm.Workload.App(0).(*apps.Blast)
+	pulse := sm.Workload.App(1).(*apps.Pulse)
+	if blast.Stats().Count() == 0 {
+		t.Fatal("blast recorded nothing")
+	}
+	if pulse.Stats().Count() != 30*4 {
+		t.Fatalf("pulse delivered %d messages, want %d", pulse.Stats().Count(), 30*4)
+	}
+	series := blast.Stats().TimeSeries(500)
+	if len(series) < 3 {
+		t.Fatalf("transient series too short: %v", series)
+	}
+}
+
+func TestParkingLotAgeBasedFairness(t *testing.T) {
+	// All terminals send to terminal 0 at a rate that oversubscribes the
+	// merge links. With age-based arbitration the far terminal must receive
+	// service comparable to the near one; round-robin starves it.
+	run := func(policy string) map[int]int {
+		doc := `{
+		  "simulation": {"seed": 21},
+		  "network": {
+		    "topology": "parking_lot",
+		    "routers": 5,
+		    "channel": {"latency": 4, "period": 2},
+		    "injection": {"latency": 2},
+		    "router": {
+		      "architecture": "input_queued",
+		      "num_vcs": 1,
+		      "input_buffer_depth": 8,
+		      "crossbar_latency": 2,
+		      "crossbar_policy": "` + policy + `",
+		      "vc_policy": "` + policy + `"
+		    }
+		  },
+		  "workload": {
+		    "applications": [{
+		      "type": "blast",
+		      "injection_rate": 0.9,
+		      "message_size": 1,
+		      "warmup_duration": 1000,
+		      "sample_duration": 8000,
+		      "source_queue_limit": 16,
+		      "traffic": {"type": "fixed", "destination": 0}
+		    }]
+		  }
+		}`
+		sm := buildAndRun(t, doc)
+		counts := map[int]int{}
+		for _, s := range sm.Workload.App(0).(*apps.Blast).Stats().Samples() {
+			counts[s.Src]++
+		}
+		return counts
+	}
+	rr := run("round_robin")
+	age := run("age_based")
+	// Fairness metric: deliveries from the farthest source vs the nearest.
+	frac := func(c map[int]int) float64 {
+		if c[1] == 0 {
+			return 0
+		}
+		return float64(c[4]) / float64(c[1])
+	}
+	if frac(age) <= frac(rr) {
+		t.Fatalf("age-based (%v) should serve the far terminal better than round robin (%v)\nrr=%v age=%v",
+			frac(age), frac(rr), rr, age)
+	}
+	if frac(age) < 0.5 {
+		t.Fatalf("age-based fairness too low: %v (%v)", frac(age), age)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/stats"
+)
+
+// TestRandomConfigSoak runs many randomized small configurations end to end.
+// Every run must complete the four-phase protocol, deliver every sampled
+// message, conserve flits (sent == received network-wide) and leave every
+// router and interface quiescent (checked by Run itself). This is the
+// failure-injection net that catches interaction bugs the targeted tests
+// miss.
+func TestRandomConfigSoak(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 7))
+	pick := func(xs ...string) string { return xs[rng.IntN(len(xs))] }
+	runs := 25
+	if testing.Short() {
+		runs = 6
+	}
+	for i := 0; i < runs; i++ {
+		arch := pick("input_queued", "input_output_queued", "output_queued")
+		fc := pick("flit_buffer", "packet_buffer", "winner_take_all")
+		pol := pick("round_robin", "age_based", "random")
+		vcpol := pick("round_robin", "age_based")
+		gran := pick("vc", "port")
+		src := pick("output", "downstream", "both")
+		vcs := 2 * (1 + rng.IntN(2)) // 2 or 4
+		msg := 1 + rng.IntN(6)
+		maxPkt := 1 + rng.IntN(msg)
+		rate := 0.05 + rng.Float64()*0.4
+		seed := rng.Uint64()
+
+		topo := ""
+		switch pick("torus", "hyperx", "folded_clos", "dragonfly", "parking_lot") {
+		case "torus":
+			topo = fmt.Sprintf(`"topology": "torus", "dimensions": [%d, %d], "concentration": %d`,
+				2+rng.IntN(3), 2+rng.IntN(3), 1+rng.IntN(2))
+		case "hyperx":
+			if rng.IntN(2) == 0 {
+				topo = fmt.Sprintf(`"topology": "hyperx", "widths": [%d], "concentration": %d,
+				  "routing": {"algorithm": "%s"}`,
+					3+rng.IntN(4), 1+rng.IntN(3), pick("dimension_order", "valiant", "ugal"))
+			} else {
+				topo = fmt.Sprintf(`"topology": "hyperx", "widths": [%d, %d], "concentration": 1,
+				  "routing": {"algorithm": "%s"}`,
+					2+rng.IntN(3), 2+rng.IntN(3), pick("dimension_order", "ugal"))
+			}
+		case "folded_clos":
+			topo = fmt.Sprintf(`"topology": "folded_clos", "half_radix": 2, "levels": %d,
+			  "routing": {"algorithm": "%s"}`,
+				2+rng.IntN(2), pick("adaptive_uprouting", "oblivious_uprouting"))
+		case "dragonfly":
+			topo = fmt.Sprintf(`"topology": "dragonfly", "concentration": 2, "group_size": 2, "global_links": 1,
+			  "routing": {"algorithm": "%s"}`, pick("minimal", "valiant", "ugal"))
+			vcs = 3
+		case "parking_lot":
+			topo = fmt.Sprintf(`"topology": "parking_lot", "routers": %d`, 3+rng.IntN(3))
+		}
+
+		doc := fmt.Sprintf(`{
+		  "simulation": {"seed": %d},
+		  "network": {
+		    %s,
+		    "channel": {"latency": %d, "period": 2},
+		    "injection": {"latency": 2},
+		    "router": {
+		      "architecture": "%s",
+		      "num_vcs": %d,
+		      "input_buffer_depth": %d,
+		      "crossbar_latency": %d,
+		      "queue_latency": %d,
+		      "output_queue_depth": %d,
+		      "flow_control": "%s",
+		      "crossbar_policy": "%s",
+		      "vc_policy": "%s",
+		      "speedup": %d,
+		      "congestion_sensor": {"granularity": "%s", "source": "%s", "latency": %d}
+		    }
+		  },
+		  "workload": {
+		    "applications": [{
+		      "type": "blast",
+		      "injection_rate": %.3f,
+		      "message_size": %d,
+		      "max_packet_size": %d,
+		      "warmup_duration": 300,
+		      "sample_duration": 800,
+		      "traffic": {"type": "uniform_random"}
+		    }]
+		  }
+		}`, seed, topo, 2+rng.IntN(10), arch, vcs, 8+rng.IntN(24),
+			1+rng.IntN(6), 1+rng.IntN(6), 16+rng.IntN(32), fc, pol, vcpol,
+			1+rng.IntN(2), gran, src, rng.IntN(8), rate, msg, maxPkt)
+
+		label := fmt.Sprintf("run %d (%s/%s/%s vcs=%d msg=%d)", i, arch, fc, pol, vcs, msg)
+		sm, err := BuildE(config.MustParse(doc))
+		if err != nil {
+			t.Fatalf("%s: build: %v\nconfig: %s", label, err, doc)
+		}
+		if _, err := sm.Run(); err != nil {
+			t.Fatalf("%s: run: %v", label, err)
+		}
+		// Flit conservation across the whole network.
+		var sent, recv uint64
+		for ti := 0; ti < sm.Net.NumTerminals(); ti++ {
+			sent += sm.Net.Interface(ti).FlitsSent()
+			recv += sm.Net.Interface(ti).FlitsReceived()
+		}
+		if sent != recv {
+			t.Fatalf("%s: flit conservation violated: sent %d received %d", label, sent, recv)
+		}
+		if sm.Workload.App(0).(stats.Provider).Stats().Count() == 0 {
+			t.Fatalf("%s: no sampled messages", label)
+		}
+	}
+}

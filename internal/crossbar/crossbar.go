@@ -1,0 +1,79 @@
+// Package crossbar models the switch fabric datapath of a router: a latency
+// for traversal plus per-output rate limiting. Schedulers decide *who* may
+// traverse; the crossbar enforces *when* flits can start and when they pop
+// out the far side.
+package crossbar
+
+import "supersim/internal/sim"
+
+// Crossbar tracks traversal timing for a radix x radix switch core. An
+// output accepts up to `speedup` traversal starts per period ticks; each
+// traversal takes latency ticks. Full input speedup is assumed (inputs never
+// conflict), matching the high-radix router models in the paper.
+type Crossbar struct {
+	outputs int
+	latency sim.Tick
+	period  sim.Tick
+	speedup int
+
+	windowStart []sim.Tick // per output: start tick of the current period window
+	windowCount []int      // per output: starts consumed in the current window
+}
+
+// New creates a crossbar. latency is the traversal time in ticks; period is
+// the scheduling cycle time; speedup is the number of flits an output may
+// accept per period (output speedup).
+func New(outputs int, latency, period sim.Tick, speedup int) *Crossbar {
+	if outputs <= 0 {
+		panic("crossbar: outputs must be positive")
+	}
+	if period == 0 {
+		panic("crossbar: period must be positive")
+	}
+	if speedup <= 0 {
+		panic("crossbar: speedup must be positive")
+	}
+	return &Crossbar{
+		outputs:     outputs,
+		latency:     latency,
+		period:      period,
+		speedup:     speedup,
+		windowStart: make([]sim.Tick, outputs),
+		windowCount: make([]int, outputs),
+	}
+}
+
+// Latency returns the traversal latency in ticks.
+func (x *Crossbar) Latency() sim.Tick { return x.latency }
+
+// CanStart reports whether a traversal to the output may begin at now.
+func (x *Crossbar) CanStart(now sim.Tick, output int) bool {
+	x.check(output)
+	w := now / x.period
+	if x.windowStart[output]/x.period != w {
+		return true // new window
+	}
+	return x.windowCount[output] < x.speedup
+}
+
+// Start begins a traversal at now and returns the arrival tick at the far
+// side. It panics if the output cannot accept a start (rate violation) —
+// schedulers must check CanStart first.
+func (x *Crossbar) Start(now sim.Tick, output int) sim.Tick {
+	if !x.CanStart(now, output) {
+		panic("crossbar: output rate exceeded")
+	}
+	w := now / x.period
+	if x.windowStart[output]/x.period != w {
+		x.windowStart[output] = now
+		x.windowCount[output] = 0
+	}
+	x.windowCount[output]++
+	return now + x.latency
+}
+
+func (x *Crossbar) check(output int) {
+	if output < 0 || output >= x.outputs {
+		panic("crossbar: output out of range")
+	}
+}

@@ -1,0 +1,90 @@
+package crossbar
+
+import "testing"
+
+func TestCrossbarLatency(t *testing.T) {
+	x := New(4, 25, 10, 1)
+	if x.Latency() != 25 {
+		t.Fatal("latency accessor")
+	}
+	if got := x.Start(100, 2); got != 125 {
+		t.Fatalf("arrival = %d, want 125", got)
+	}
+}
+
+func TestCrossbarRateLimitPerWindow(t *testing.T) {
+	x := New(2, 5, 10, 1)
+	if !x.CanStart(100, 0) {
+		t.Fatal("fresh output should accept")
+	}
+	x.Start(100, 0)
+	if x.CanStart(105, 0) {
+		t.Fatal("same window should be full at speedup 1")
+	}
+	if !x.CanStart(110, 0) {
+		t.Fatal("next window should accept")
+	}
+	// independent outputs
+	if !x.CanStart(105, 1) {
+		t.Fatal("other output should be free")
+	}
+}
+
+func TestCrossbarSpeedup(t *testing.T) {
+	x := New(1, 5, 10, 2)
+	x.Start(100, 0)
+	if !x.CanStart(103, 0) {
+		t.Fatal("speedup 2 should accept a second start")
+	}
+	x.Start(103, 0)
+	if x.CanStart(107, 0) {
+		t.Fatal("third start in window must be rejected")
+	}
+	x.Start(110, 0) // new window
+}
+
+func TestCrossbarStartPanicsWhenFull(t *testing.T) {
+	x := New(1, 5, 10, 1)
+	x.Start(100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Start(101, 0)
+}
+
+func TestCrossbarRangeAndCtorChecks(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 1, 1, 1) },
+		func() { New(1, 1, 0, 1) },
+		func() { New(1, 1, 1, 0) },
+		func() { New(2, 1, 1, 1).CanStart(0, 5) },
+		func() { New(2, 1, 1, 1).Start(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCrossbarWindowBoundaries(t *testing.T) {
+	// Windows are aligned to period multiples of the start tick's window id.
+	x := New(1, 0, 10, 1)
+	x.Start(9, 0) // window 0
+	if !x.CanStart(10, 0) {
+		t.Fatal("tick 10 begins window 1")
+	}
+	x.Start(10, 0)
+	if x.CanStart(19, 0) {
+		t.Fatal("window 1 full")
+	}
+	if !x.CanStart(20, 0) {
+		t.Fatal("window 2 free")
+	}
+}

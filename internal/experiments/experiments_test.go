@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCurveSaturationThroughput(t *testing.T) {
+	c := Curve{Points: []LoadPoint{
+		{Offered: 0.2, Accepted: 0.2},
+		{Offered: 0.6, Accepted: 0.58},
+		{Offered: 0.9, Accepted: 0.61, Saturated: true},
+	}}
+	if got := c.SaturationThroughput(); got != 0.61 {
+		t.Fatalf("saturation throughput %v", got)
+	}
+	if (Curve{}).SaturationThroughput() != 0 {
+		t.Fatal("empty curve")
+	}
+}
+
+func TestTableIBuildsAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three full networks")
+	}
+	rows := TableI(Options{})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Buildable {
+			t.Fatalf("%s not buildable", r.Study)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTableI(&buf, rows)
+	for _, want := range []string{"folded-Clos", "flattened butterfly", "4D torus",
+		"UGAL", "adaptive uprouting", "dimension order"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestPrintCurves(t *testing.T) {
+	var buf bytes.Buffer
+	PrintCurves(&buf, "test", []Curve{{
+		Label: "series-a",
+		Points: []LoadPoint{
+			{Offered: 0.5, Accepted: 0.5, Mean: 100, P50: 95, P99: 150, P999: 180},
+			{Offered: 0.9, Accepted: 0.7, Mean: 900, Saturated: true},
+		},
+	}})
+	out := buf.String()
+	if !strings.Contains(out, "series-a") || !strings.Contains(out, "[saturated]") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestPrintThroughputs(t *testing.T) {
+	var buf bytes.Buffer
+	PrintThroughputs(&buf, "t", []Curve{{Label: "x", Points: []LoadPoint{{Accepted: 0.42}}}})
+	if !strings.Contains(buf.String(), "0.420") {
+		t.Fatalf("output %q", buf.String())
+	}
+}
+
+func TestPrintFigure11(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFigure11(&buf, []Fig11Point{
+		{FlowControl: "flit_buffer", VCs: 2, MsgSize: 1, Throughput: 0.9},
+		{FlowControl: "packet_buffer", VCs: 2, MsgSize: 1, Throughput: 0.8},
+		{FlowControl: "winner_take_all", VCs: 2, MsgSize: 1, Throughput: 0.85},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "2 VCs") || !strings.Contains(out, "0.900") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[int]bool{8: true, 2: true, 4: true})
+	want := []int{2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedKeys = %v", got)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if (Options{}).seed() != 1 {
+		t.Fatal("default seed")
+	}
+	if (Options{Seed: 7}).seed() != 7 {
+		t.Fatal("explicit seed")
+	}
+	var buf bytes.Buffer
+	o := Options{Out: &buf}
+	o.logf("x %d", 3)
+	if buf.String() != "x 3" {
+		t.Fatalf("logf wrote %q", buf.String())
+	}
+	(Options{}).logf("discarded") // nil writer must not panic
+}
+
+func TestSatMark(t *testing.T) {
+	if satMark(LoadPoint{Saturated: true}) == "" || satMark(LoadPoint{}) != "" {
+		t.Fatal("satMark wrong")
+	}
+}
+
+func TestFmt9Label(t *testing.T) {
+	if !strings.Contains(fmt9Label(4), "4 ns") {
+		t.Fatal("label")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(2, 10) != 1024 || pow(5, 0) != 1 {
+		t.Fatal("pow")
+	}
+}
+
+func TestFigure7Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	a := Figure7(Options{Seed: 3})
+	b := Figure7(Options{Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("curve lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %v vs %v — experiments are not deterministic", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package factory
+
+import (
+	"strings"
+	"testing"
+)
+
+type widget interface{ Kind() string }
+
+type gadget struct{ kind string }
+
+func (g *gadget) Kind() string { return g.kind }
+
+type widgetCtor func(arg int) widget
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	r.Register("gadget", func(arg int) widget { return &gadget{kind: "gadget"} })
+	ctor, err := r.Lookup("gadget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ctor(1); w.Kind() != "gadget" {
+		t.Fatalf("Kind = %q", w.Kind())
+	}
+}
+
+func TestLookupUnknownListsAvailable(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	r.Register("alpha", nil)
+	r.Register("beta", nil)
+	_, err := r.Lookup("gamma")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "widget") || !strings.Contains(msg, "gamma") ||
+		!strings.Contains(msg, "alpha") || !strings.Contains(msg, "beta") {
+		t.Fatalf("unhelpful error: %s", msg)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.MustLookup("missing")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	r.Register("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Register("x", nil)
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, nil)
+	}
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v", names)
+		}
+	}
+	if r.Kind() != "widget" {
+		t.Fatalf("Kind = %q", r.Kind())
+	}
+}
+
+func TestConcurrentLookup(t *testing.T) {
+	r := NewRegistry[widgetCtor]("widget")
+	r.Register("g", func(arg int) widget { return &gadget{} })
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				if _, err := r.Lookup("g"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

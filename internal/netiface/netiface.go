@@ -1,0 +1,287 @@
+// Package netiface implements the network interface that connects one
+// terminal (endpoint) to its router. The interface owns the injection side —
+// segmenting messages into packets and flits, choosing an injection VC, and
+// respecting credits and channel bandwidth — and the ejection side —
+// verifying delivery order, returning credits, reassembling packets into
+// messages and handing them to the terminal.
+package netiface
+
+import (
+	"supersim/internal/channel"
+	"supersim/internal/config"
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+const (
+	evInject = iota
+)
+
+// MessageSink consumes fully delivered messages (the Terminal).
+type MessageSink interface {
+	DeliverMessage(m *types.Message)
+}
+
+// InjectionPolicy returns the set of VCs a packet may start on. Networks
+// supply a policy consistent with their routing algorithm's VC discipline.
+type InjectionPolicy func(pkt *types.Packet) []int
+
+// Interface is the per-terminal network interface component.
+type Interface struct {
+	sim.ComponentBase
+	id        int
+	vcs       int
+	chanClock *sim.Clock
+
+	outCh     *channel.Channel       // to the router input port
+	creditOut *channel.CreditChannel // credits back to the router for ejected flits
+	downCred  []int                  // per VC credits at the router input buffer
+	credInit  int                    // initial per-VC credit count
+	policy    InjectionPolicy
+
+	sendQ     []*types.Packet // FIFO of packets awaiting injection
+	curFlit   int             // next flit index of the head packet
+	curVC     int             // VC the head packet is locked to, -1 before head
+	injectRR  int             // rotation for VC choice ties
+	scheduled bool
+
+	checker   *types.OrderChecker
+	sink      MessageSink
+	remaining map[*types.Message]int // undelivered flits per message
+
+	// statistics
+	flitsSent, flitsReceived uint64
+}
+
+// New creates an interface for terminal id. vcs is the VC count of the
+// attached network; policy yields legal injection VCs per packet.
+func New(s *sim.Simulator, name string, id int, cfg *config.Settings, vcs int, chanPeriod sim.Tick, policy InjectionPolicy) *Interface {
+	if vcs <= 0 {
+		panic("netiface: vcs must be positive")
+	}
+	if policy == nil {
+		panic("netiface: injection policy required")
+	}
+	return &Interface{
+		ComponentBase: sim.NewComponentBase(s, name),
+		id:            id,
+		vcs:           vcs,
+		chanClock:     sim.NewClock(chanPeriod, 0),
+		downCred:      make([]int, vcs),
+		policy:        policy,
+		curVC:         -1,
+		checker:       types.NewOrderChecker(id),
+		remaining:     map[*types.Message]int{},
+	}
+}
+
+// ID returns the terminal ID this interface serves.
+func (n *Interface) ID() int { return n.id }
+
+// SetMessageSink registers the consumer of delivered messages.
+func (n *Interface) SetMessageSink(sink MessageSink) { n.sink = sink }
+
+// ConnectOutput wires the flit channel toward the router.
+func (n *Interface) ConnectOutput(ch *channel.Channel) { n.outCh = ch }
+
+// ConnectCreditOut wires the credit channel that returns ejection credits to
+// the router.
+func (n *Interface) ConnectCreditOut(cc *channel.CreditChannel) { n.creditOut = cc }
+
+// SetDownstreamCredits initializes the per-VC credit pool for the router's
+// input buffer.
+func (n *Interface) SetDownstreamCredits(perVC int) {
+	if perVC <= 0 {
+		n.Panicf("downstream credits must be positive")
+	}
+	n.credInit = perVC
+	for vc := range n.downCred {
+		n.downCred[vc] = perVC
+	}
+}
+
+// VerifyIdle panics unless the interface is quiescent: nothing queued for
+// injection, all router input buffer credits returned, and no partially
+// received messages. The framework calls it after the network drains.
+func (n *Interface) VerifyIdle() {
+	if len(n.sendQ) != 0 {
+		n.Panicf("idle check: %d packets still queued for injection", len(n.sendQ))
+	}
+	for vc, c := range n.downCred {
+		if c != n.credInit {
+			n.Panicf("idle check: vc %d holds %d of %d injection credits", vc, c, n.credInit)
+		}
+	}
+	if n.checker.Outstanding() != 0 {
+		n.Panicf("idle check: %d packets partially delivered", n.checker.Outstanding())
+	}
+	if len(n.remaining) != 0 {
+		n.Panicf("idle check: %d messages partially reassembled", len(n.remaining))
+	}
+}
+
+// QueueDepth returns the number of packets waiting for injection — the
+// source queue. Sustained growth indicates the network is saturated at this
+// terminal's injection rate.
+func (n *Interface) QueueDepth() int { return len(n.sendQ) }
+
+// FlitsSent returns the number of flits injected into the network.
+func (n *Interface) FlitsSent() uint64 { return n.flitsSent }
+
+// FlitsReceived returns the number of flits ejected from the network.
+func (n *Interface) FlitsReceived() uint64 { return n.flitsReceived }
+
+// SendMessage queues a message's packets for injection. The message must
+// originate at this terminal.
+func (n *Interface) SendMessage(m *types.Message) {
+	if m.Src != n.id {
+		n.Panicf("message %d src %d sent from terminal %d", m.ID, m.Src, n.id)
+	}
+	if m.Dst == n.id {
+		n.Panicf("message %d targets its own source terminal", m.ID)
+	}
+	if len(m.Packets) == 0 {
+		n.Panicf("message %d has no packets", m.ID)
+	}
+	n.sendQ = append(n.sendQ, m.Packets...)
+	n.scheduleInject()
+}
+
+func (n *Interface) scheduleInject() {
+	if n.scheduled || len(n.sendQ) == 0 {
+		return
+	}
+	now := n.Sim().Now()
+	t := sim.Time{Tick: n.chanClock.NextEdge(now.Tick), Eps: 1}
+	if !now.Before(t) {
+		t = sim.Time{Tick: n.chanClock.NextEdge(now.Tick + 1), Eps: 1}
+	}
+	n.scheduled = true
+	n.Sim().Schedule(n, t, evInject, nil)
+}
+
+// ProcessEvent runs the injection pipeline.
+func (n *Interface) ProcessEvent(ev *sim.Event) {
+	if ev.Type != evInject {
+		n.Panicf("unknown event type %d", ev.Type)
+	}
+	n.scheduled = false
+	n.injectOne()
+	if len(n.sendQ) > 0 {
+		// Remain scheduled while credits allow progress; if blocked, the
+		// next credit arrival reschedules.
+		if n.headSendable() {
+			n.scheduleInject()
+		}
+	}
+}
+
+// headSendable reports whether the head packet's next flit has a usable VC
+// credit right now.
+func (n *Interface) headSendable() bool {
+	if len(n.sendQ) == 0 {
+		return false
+	}
+	if n.curVC >= 0 {
+		return n.downCred[n.curVC] > 0
+	}
+	for _, vc := range n.policy(n.sendQ[0]) {
+		if n.downCred[vc] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Interface) injectOne() {
+	if len(n.sendQ) == 0 {
+		return
+	}
+	pkt := n.sendQ[0]
+	f := pkt.Flits[n.curFlit]
+	if f.Head && n.curVC < 0 {
+		// Choose an injection VC: among the policy's legal VCs with credit,
+		// take the one with the most credits, rotating ties.
+		cands := n.policy(pkt)
+		if len(cands) == 0 {
+			n.Panicf("injection policy returned no VCs for %v", pkt)
+		}
+		best := -1
+		for i := 0; i < len(cands); i++ {
+			vc := cands[(n.injectRR+i)%len(cands)]
+			if vc < 0 || vc >= n.vcs {
+				n.Panicf("injection policy uses unregistered VC %d", vc)
+			}
+			if n.downCred[vc] > 0 && (best < 0 || n.downCred[vc] > n.downCred[best]) {
+				best = vc
+			}
+		}
+		if best < 0 {
+			return // no credits on any legal VC; wait for credit arrival
+		}
+		n.injectRR++
+		n.curVC = best
+	}
+	if n.curVC < 0 || n.downCred[n.curVC] < 1 {
+		return // credit stall mid-packet
+	}
+	if !n.outCh.Available(n.Sim().Now().Tick) {
+		return // channel busy this cycle (should not happen at edge pacing)
+	}
+	now := n.Sim().Now().Tick
+	f.VC = n.curVC
+	n.downCred[n.curVC]--
+	if f.Head {
+		pkt.InjectTime = now
+		if pkt.ID == 0 && f.ID == 0 {
+			pkt.Msg.InjectTime = now
+		}
+	}
+	n.outCh.Inject(f)
+	n.flitsSent++
+	if f.Tail {
+		n.sendQ = n.sendQ[1:]
+		n.curFlit = 0
+		n.curVC = -1
+	} else {
+		n.curFlit++
+	}
+}
+
+// ReceiveFlit ejects a flit from the network: the delivery checks run, the
+// credit returns to the router, and completed messages go to the sink.
+func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
+	now := n.Sim().Now().Tick
+	n.flitsReceived++
+	packetDone := n.checker.Check(f)
+	n.creditOut.Inject(types.Credit{VC: f.VC})
+	m := f.Pkt.Msg
+	rem, ok := n.remaining[m]
+	if !ok {
+		// First flit of a message seen at the receiver.
+		n.remaining[m] = m.TotalFlits()
+		rem = m.TotalFlits()
+	}
+	rem--
+	n.remaining[m] = rem
+	if packetDone {
+		f.Pkt.ReceiveTime = now
+	}
+	if rem == 0 {
+		delete(n.remaining, m)
+		m.ReceiveTime = now
+		if n.sink == nil {
+			n.Panicf("message delivered but no sink registered")
+		}
+		n.sink.DeliverMessage(m)
+	}
+}
+
+// ReceiveCredit restores an injection credit for a VC.
+func (n *Interface) ReceiveCredit(port int, c types.Credit) {
+	if c.VC < 0 || c.VC >= n.vcs {
+		n.Panicf("credit for unregistered VC %d", c.VC)
+	}
+	n.downCred[c.VC]++
+	n.scheduleInject()
+}

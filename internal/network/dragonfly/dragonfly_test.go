@@ -1,0 +1,73 @@
+package dragonfly
+
+import (
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/sim"
+)
+
+func build(t *testing.T) *Dragonfly {
+	t.Helper()
+	return New(sim.NewSimulator(1), config.MustParse(`{
+	  "topology": "dragonfly",
+	  "concentration": 2,
+	  "group_size": 2,
+	  "global_links": 2,
+	  "channel": {"latency": 2, "period": 1},
+	  "injection": {"latency": 1},
+	  "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 4, "crossbar_latency": 1},
+	  "routing": {"algorithm": "minimal"}
+	}`))
+}
+
+func TestBalancedShape(t *testing.T) {
+	d := build(t)
+	// a=2, h=2 => groups = 5, routers = 10, terminals = 20
+	if d.groups != 5 {
+		t.Fatalf("groups = %d", d.groups)
+	}
+	if d.NumRouters() != 10 || d.NumTerminals() != 20 {
+		t.Fatalf("routers=%d terminals=%d", d.NumRouters(), d.NumTerminals())
+	}
+	// radix = p + (a-1) + h = 2 + 1 + 2 = 5
+	if d.Router(0).Radix() != 5 {
+		t.Fatalf("radix = %d", d.Router(0).Radix())
+	}
+}
+
+func TestPortLayout(t *testing.T) {
+	d := build(t)
+	if d.localPort(1) != 2 {
+		t.Fatalf("local port = %d", d.localPort(1))
+	}
+	if d.globalPort(0) != 3 || d.globalPort(1) != 4 {
+		t.Fatal("global ports wrong")
+	}
+}
+
+func TestGlobalOwnerBijective(t *testing.T) {
+	d := build(t)
+	// Every (group, target group) pair maps to a unique (router, port) slot
+	// within the group, and the reverse mapping from the target group points
+	// back consistently.
+	for g := 0; g < d.groups; g++ {
+		seen := map[[2]int]int{}
+		for tg := 0; tg < d.groups; tg++ {
+			if tg == g {
+				continue
+			}
+			r, p := d.globalOwner(g, tg)
+			if r < 0 || r >= d.a || p < 0 || p >= d.h {
+				t.Fatalf("owner out of range: g=%d tg=%d -> (%d,%d)", g, tg, r, p)
+			}
+			if prev, dup := seen[[2]int{r, p}]; dup {
+				t.Fatalf("slot (%d,%d) of group %d serves both %d and %d", r, p, g, prev, tg)
+			}
+			seen[[2]int{r, p}] = tg
+		}
+		if len(seen) != d.groups-1 {
+			t.Fatalf("group %d uses %d slots, want %d", g, len(seen), d.groups-1)
+		}
+	}
+}

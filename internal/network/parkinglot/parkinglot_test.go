@@ -1,0 +1,42 @@
+package parkinglot
+
+import (
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/sim"
+)
+
+func TestShape(t *testing.T) {
+	p := New(sim.NewSimulator(1), config.MustParse(`{
+	  "topology": "parking_lot",
+	  "routers": 4,
+	  "channel": {"latency": 2, "period": 1},
+	  "injection": {"latency": 1},
+	  "router": {"architecture": "input_queued", "num_vcs": 1, "input_buffer_depth": 4, "crossbar_latency": 1}
+	}`))
+	if p.NumRouters() != 4 || p.NumTerminals() != 4 {
+		t.Fatalf("routers=%d terminals=%d", p.NumRouters(), p.NumTerminals())
+	}
+	if p.Router(0).Radix() != 3 {
+		t.Fatalf("radix = %d", p.Router(0).Radix())
+	}
+	// channels: 3 links x2 + 4 terminals x2 = 14
+	if len(p.Channels()) != 14 {
+		t.Fatalf("channels = %d", len(p.Channels()))
+	}
+}
+
+func TestRejectsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewSimulator(1), config.MustParse(`{
+	  "topology": "parking_lot",
+	  "routers": 1,
+	  "channel": {"latency": 2, "period": 1},
+	  "router": {}
+	}`))
+}

@@ -1,0 +1,354 @@
+package router
+
+import (
+	"math/rand/v2"
+
+	"supersim/internal/channel"
+	"supersim/internal/config"
+	"supersim/internal/congestion"
+	"supersim/internal/routing"
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+// event type tags shared by the architectures
+const (
+	evPipeline = iota
+	evRouteDone
+	evXbarArrive
+	evTransferArrive
+	evOutput
+)
+
+// base holds the plumbing common to all router architectures: ports,
+// virtual channels, clocks, downstream credit counters, the congestion
+// sensor, and per-input-port routing engines.
+type base struct {
+	sim.ComponentBase
+	id    int
+	radix int
+	vcs   int
+
+	bufDepth   int
+	chanPeriod sim.Tick
+	coreClock  *sim.Clock
+
+	outCh     []*channel.Channel       // per output port, nil if unconnected
+	creditOut []*channel.CreditChannel // per input port, nil if unconnected
+	downCred  [][]int                  // [port][vc] available downstream credits
+	downCap   []int                    // [port] initial per-VC downstream credits
+
+	sensor congestion.Tracker
+	algs   []routing.Algorithm // per input port
+	rng    *rand.Rand
+
+	pipelineScheduled bool
+
+	// statistics
+	flitsRouted uint64
+}
+
+func newBase(s *sim.Simulator, name string, cfg *config.Settings, p Params) base {
+	if p.Radix <= 0 {
+		panic("router: radix must be positive")
+	}
+	if p.ChannelPeriod == 0 {
+		panic("router: channel period must be positive")
+	}
+	vcs := int(cfg.UIntOr("num_vcs", 1))
+	if vcs <= 0 {
+		panic("router: num_vcs must be positive")
+	}
+	bufDepth := int(cfg.UIntOr("input_buffer_depth", 16))
+	if bufDepth <= 0 {
+		panic("router: input_buffer_depth must be positive")
+	}
+	speedup := cfg.UIntOr("speedup", 1)
+	if speedup == 0 || p.ChannelPeriod%sim.Tick(speedup) != 0 {
+		panic("router: speedup must divide the channel period")
+	}
+	b := base{
+		ComponentBase: sim.NewComponentBase(s, name),
+		id:            p.ID,
+		radix:         p.Radix,
+		vcs:           vcs,
+		bufDepth:      bufDepth,
+		chanPeriod:    p.ChannelPeriod,
+		coreClock:     sim.NewClock(p.ChannelPeriod/sim.Tick(speedup), 0),
+		outCh:         make([]*channel.Channel, p.Radix),
+		creditOut:     make([]*channel.CreditChannel, p.Radix),
+		downCred:      make([][]int, p.Radix),
+		downCap:       make([]int, p.Radix),
+		rng:           s.Rand(),
+	}
+	for i := range b.downCred {
+		b.downCred[i] = make([]int, vcs)
+	}
+	b.sensor = congestion.New(cfg.SubOr("congestion_sensor"), p.Radix, vcs)
+	if p.RoutingCtor == nil {
+		panic("router: routing constructor required")
+	}
+	b.algs = make([]routing.Algorithm, p.Radix)
+	for port := range b.algs {
+		b.algs[port] = p.RoutingCtor(p.ID, port, b.sensor, b.rng)
+	}
+	return b
+}
+
+// ID returns the router's index within the network.
+func (b *base) ID() int { return b.id }
+
+// Radix returns the number of ports.
+func (b *base) Radix() int { return b.radix }
+
+// NumVCs returns the number of virtual channels per port.
+func (b *base) NumVCs() int { return b.vcs }
+
+// InputBufferDepth returns the per-VC input buffer capacity in flits.
+func (b *base) InputBufferDepth() int { return b.bufDepth }
+
+// Sensor returns the router's congestion sensor.
+func (b *base) Sensor() congestion.Tracker { return b.sensor }
+
+// ConnectOutput wires the flit channel leaving an output port.
+func (b *base) ConnectOutput(port int, ch *channel.Channel) {
+	b.checkPort(port)
+	b.outCh[port] = ch
+}
+
+// ConnectCreditOut wires the upstream credit return channel of an input port.
+func (b *base) ConnectCreditOut(port int, cc *channel.CreditChannel) {
+	b.checkPort(port)
+	b.creditOut[port] = cc
+}
+
+// SetDownstreamCredits initializes an output port's per-VC credit counters.
+func (b *base) SetDownstreamCredits(port int, perVC int) {
+	b.checkPort(port)
+	if perVC <= 0 {
+		b.Panicf("downstream credits must be positive, got %d", perVC)
+	}
+	b.downCap[port] = perVC
+	for vc := range b.downCred[port] {
+		b.downCred[port][vc] = perVC
+	}
+}
+
+func (b *base) checkPort(port int) {
+	if port < 0 || port >= b.radix {
+		b.Panicf("port %d out of range (radix %d)", port, b.radix)
+	}
+}
+
+// validateResponse applies the framework error detection to a routing
+// decision: the port must exist and be connected, and every VC must be
+// registered (in range).
+func (b *base) validateResponse(resp routing.Response, pkt *types.Packet) {
+	if resp.Port < 0 || resp.Port >= b.radix {
+		b.Panicf("routing %v to invalid port %d", pkt, resp.Port)
+	}
+	if b.outCh[resp.Port] == nil {
+		b.Panicf("routing %v targets unused output port %d — rejected", pkt, resp.Port)
+	}
+	if len(resp.VCs) == 0 {
+		b.Panicf("routing %v returned no VCs", pkt)
+	}
+	for _, vc := range resp.VCs {
+		if vc < 0 || vc >= b.vcs {
+			b.Panicf("routing %v uses unregistered VC %d (have %d)", pkt, vc, b.vcs)
+		}
+	}
+}
+
+// takeDownstreamCredit consumes one downstream credit and updates the sensor.
+func (b *base) takeDownstreamCredit(port, vc int) {
+	b.downCred[port][vc]--
+	if b.downCred[port][vc] < 0 {
+		b.Panicf("downstream credits went negative on port %d vc %d", port, vc)
+	}
+	b.sensor.AddDownstream(b.Sim().Now().Tick, port, vc, 1)
+}
+
+// returnDownstreamCredit restores one downstream credit (on credit arrival).
+func (b *base) returnDownstreamCredit(port, vc int) {
+	b.downCred[port][vc]++
+	if b.downCap[port] > 0 && b.downCred[port][vc] > b.downCap[port] {
+		b.Panicf("downstream credits exceeded capacity on port %d vc %d", port, vc)
+	}
+	b.sensor.AddDownstream(b.Sim().Now().Tick, port, vc, -1)
+}
+
+// sendCreditUpstream releases one input buffer slot back to the sender.
+func (b *base) sendCreditUpstream(port, vc int) {
+	cc := b.creditOut[port]
+	if cc == nil {
+		b.Panicf("no credit channel on input port %d", port)
+	}
+	cc.Inject(types.Credit{VC: vc})
+}
+
+// FlitsRouted returns the number of flits this router has forwarded.
+func (b *base) FlitsRouted() uint64 { return b.flitsRouted }
+
+// verifyIdleCredits panics unless every connected output port has all of its
+// downstream credits back.
+func (b *base) verifyIdleCredits() {
+	for port := 0; port < b.radix; port++ {
+		if b.outCh[port] == nil || b.downCap[port] == 0 {
+			continue
+		}
+		for vc := 0; vc < b.vcs; vc++ {
+			if b.downCred[port][vc] != b.downCap[port] {
+				b.Panicf("idle check: port %d vc %d holds %d of %d downstream credits",
+					port, vc, b.downCred[port][vc], b.downCap[port])
+			}
+		}
+	}
+}
+
+// allocateVCs performs one cycle of output VC allocation shared by the IQ
+// and IOQ architectures. Pending clients (input VCs whose head packet has a
+// routing response) try to take a free output VC from their response's
+// registered set. Contention is resolved either by a rotating start offset
+// (round robin) or by packet age (oldest first). It returns the clients
+// still pending and whether any grant was made.
+func allocateVCs(pending []int, rotate int, ageOrder bool,
+	in []inputVC, holder [][]int, sched []*xbarSched) ([]int, bool) {
+	n := len(pending)
+	if n == 0 {
+		return pending, false
+	}
+	order := make([]int, n)
+	if ageOrder {
+		copy(order, pending)
+		// Insertion sort by age: pending lists are short.
+		for i := 1; i < n; i++ {
+			c := order[i]
+			a := in[c].q.peek().Pkt.Age()
+			j := i - 1
+			for j >= 0 && in[order[j]].q.peek().Pkt.Age() > a {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = c
+		}
+	} else {
+		start := rotate % n
+		for i := range order {
+			order[i] = pending[(start+i)%n]
+		}
+	}
+	progress := false
+	granted := make(map[int]bool, n)
+	for _, client := range order {
+		iv := &in[client]
+		for _, vc := range iv.resp.VCs {
+			if holder[iv.resp.Port][vc] == -1 {
+				holder[iv.resp.Port][vc] = client
+				iv.outPort, iv.outVC = iv.resp.Port, vc
+				sched[iv.resp.Port].addContender(client)
+				granted[client] = true
+				progress = true
+				break
+			}
+		}
+	}
+	kept := pending[:0]
+	for _, client := range pending {
+		if !granted[client] {
+			kept = append(kept, client)
+		}
+	}
+	return kept, progress
+}
+
+// flight is one flit traversing a fixed-latency internal datapath (crossbar
+// or queue-to-queue transfer) toward an output port.
+type flight struct {
+	at   sim.Tick
+	f    *types.Flit
+	port int
+}
+
+// delayLine batches a router's fixed-latency internal traversals so the
+// router holds at most one pending event for all of them: traversal
+// completion times are monotone (fixed latency, monotone starts), so the
+// line is a FIFO. This keeps the global event heap small even with long
+// crossbar latencies.
+type delayLine struct {
+	q         []flight
+	head      int
+	scheduled bool
+}
+
+// push appends a traversal; it panics if completion times go backwards.
+func (d *delayLine) push(at sim.Tick, f *types.Flit, port int) {
+	if n := len(d.q); n > d.head && d.q[n-1].at > at {
+		panic("router: delay line completion times must be monotone")
+	}
+	d.q = append(d.q, flight{at: at, f: f, port: port})
+}
+
+// next returns the earliest pending completion time.
+func (d *delayLine) next() (sim.Tick, bool) {
+	if d.head >= len(d.q) {
+		return 0, false
+	}
+	return d.q[d.head].at, true
+}
+
+// pop removes and returns the earliest traversal.
+func (d *delayLine) pop() flight {
+	fl := d.q[d.head]
+	d.q[d.head] = flight{}
+	d.head++
+	if d.head == len(d.q) {
+		d.q = d.q[:0]
+		d.head = 0
+	} else if d.head >= 64 && d.head*2 >= len(d.q) {
+		n := copy(d.q, d.q[d.head:])
+		d.q = d.q[:n]
+		d.head = 0
+	}
+	return fl
+}
+
+// flitQueue is a FIFO of flits backed by a ring buffer.
+type flitQueue struct {
+	buf  []*types.Flit
+	head int
+	n    int
+}
+
+func (q *flitQueue) len() int { return q.n }
+
+func (q *flitQueue) push(f *types.Flit) {
+	if q.n == len(q.buf) {
+		grown := make([]*types.Flit, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+}
+
+func (q *flitQueue) peek() *types.Flit {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *flitQueue) pop() *types.Flit {
+	if q.n == 0 {
+		return nil
+	}
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f
+}

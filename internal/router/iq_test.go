@@ -1,0 +1,286 @@
+package router
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"supersim/internal/channel"
+	"supersim/internal/config"
+	"supersim/internal/congestion"
+	"supersim/internal/routing"
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+// flitSink collects flits leaving the router under test and, like a real
+// downstream device, returns one credit per flit.
+type flitSink struct {
+	s       *sim.Simulator
+	flits   []*types.Flit
+	times   []sim.Tick
+	creditC *channel.CreditChannel
+}
+
+func (f *flitSink) ReceiveFlit(port int, fl *types.Flit) {
+	f.flits = append(f.flits, fl)
+	f.times = append(f.times, f.s.Now().Tick)
+	if f.creditC != nil {
+		f.creditC.Inject(types.Credit{VC: fl.VC})
+	}
+}
+
+// creditSink collects upstream credit returns.
+type creditSink struct{ credits []types.Credit }
+
+func (c *creditSink) ReceiveCredit(port int, cr types.Credit) {
+	c.credits = append(c.credits, cr)
+}
+
+// passCtor routes every packet to port 1, offering all VCs.
+func passCtor(vcs int) routing.Ctor {
+	all := make([]int, vcs)
+	for i := range all {
+		all[i] = i
+	}
+	return func(routerID, inputPort int, sensor congestion.Sensor, rng *rand.Rand) routing.Algorithm {
+		return routing.AlgorithmFunc(func(now sim.Tick, pkt *types.Packet, inPort, inVC int) routing.Response {
+			return routing.Response{Port: 1, VCs: all}
+		})
+	}
+}
+
+// buildLoneRouter wires a 2-port router: flits pushed into port 0 route to
+// port 1, whose channel feeds a collector; upstream credits for port 0 are
+// collected too. Returns the simulator, router, output sink and credit sink.
+func buildLoneRouter(t *testing.T, cfgDoc string, vcs, downCredits int) (*sim.Simulator, Router, *flitSink, *creditSink) {
+	t.Helper()
+	s := sim.NewSimulator(1)
+	r := New(s, "r0", config.MustParse(cfgDoc), Params{
+		ID: 0, Radix: 2, RoutingCtor: passCtor(vcs), ChannelPeriod: 1,
+	})
+	out := &flitSink{s: s}
+	ch := channel.New(s, "out", 1, 1)
+	ch.SetSink(out, 0)
+	r.ConnectOutput(1, ch)
+	r.SetDownstreamCredits(1, downCredits)
+	back := channel.NewCredit(s, "back", 1)
+	back.SetSink(r, 1)
+	out.creditC = back
+	crs := &creditSink{}
+	cc := channel.NewCredit(s, "cr", 1)
+	cc.SetSink(crs, 0)
+	r.ConnectCreditOut(0, cc)
+	return s, r, out, crs
+}
+
+const iqDoc = `{
+  "architecture": "input_queued",
+  "num_vcs": 2,
+  "input_buffer_depth": 8,
+  "routing_latency": 1,
+  "crossbar_latency": 3
+}`
+
+func pushPacket(s *sim.Simulator, r Router, size, vc int, atTick sim.Tick) *types.Message {
+	m := types.NewMessage(1, 0, 5, 9, size, size)
+	for i, f := range m.Packets[0].Flits {
+		f.VC = vc
+		fl := f
+		tick := atTick + sim.Tick(i)
+		s.Schedule(sim.HandlerFunc(func(*sim.Event) { r.ReceiveFlit(0, fl) }),
+			sim.Time{Tick: tick}, 0, nil)
+	}
+	return m
+}
+
+func TestIQForwardsPacketInOrder(t *testing.T) {
+	s, r, out, crs := buildLoneRouter(t, iqDoc, 2, 8)
+	pushPacket(s, r, 3, 0, 10)
+	s.Run()
+	if len(out.flits) != 3 {
+		t.Fatalf("forwarded %d flits", len(out.flits))
+	}
+	for i, f := range out.flits {
+		if f.ID != i {
+			t.Fatalf("flit order %v", out.flits)
+		}
+	}
+	// One upstream credit per forwarded flit, on the arrival VC.
+	if len(crs.credits) != 3 {
+		t.Fatalf("returned %d credits", len(crs.credits))
+	}
+	for _, c := range crs.credits {
+		if c.VC != 0 {
+			t.Fatalf("credit VC %d", c.VC)
+		}
+	}
+	// Head flit: arrive t=10, route done t=11, VC + switch allocation in the
+	// same cycle (aggressive single-cycle pipeline), crossbar 3 ticks =>
+	// channel inject t=14, channel latency 1 => delivery t=15.
+	if out.times[0] != 15 {
+		t.Fatalf("head delivered at %d, want 15", out.times[0])
+	}
+	// Hop count incremented once per router traversal.
+	if out.flits[0].Pkt.HopCount != 1 {
+		t.Fatalf("hop count %d", out.flits[0].Pkt.HopCount)
+	}
+	r.VerifyIdle()
+}
+
+func TestIQStallsWithoutDownstreamCredits(t *testing.T) {
+	// Disable the sink's automatic credit return to starve the router.
+	s, r, out, _ := buildLoneRouter(t, iqDoc, 2, 2)
+	out.creditC = nil
+	pushPacket(s, r, 4, 0, 10)
+	s.Run()
+	if len(out.flits) != 2 {
+		t.Fatalf("forwarded %d flits with 2 credits", len(out.flits))
+	}
+	// Returning credits resumes the stream.
+	back := channel.NewCredit(s, "late", 1)
+	back.SetSink(r, 1)
+	out.creditC = back
+	s.Schedule(sim.HandlerFunc(func(*sim.Event) {
+		r.ReceiveCredit(1, types.Credit{VC: out.flits[0].VC})
+		r.ReceiveCredit(1, types.Credit{VC: out.flits[0].VC})
+	}), sim.Time{Tick: s.Now().Tick + 1}, 0, nil)
+	s.Run()
+	if len(out.flits) != 4 {
+		t.Fatalf("forwarded %d flits after credit return", len(out.flits))
+	}
+	r.VerifyIdle()
+}
+
+func TestIQInputBufferOverrunPanics(t *testing.T) {
+	s, r, _, _ := buildLoneRouter(t, iqDoc, 2, 0x7fffffff)
+	// 9 flits into an 8-deep buffer in one tick: the 9th must panic.
+	m := types.NewMessage(1, 0, 5, 9, 9, 9)
+	panicked := false
+	s.Schedule(sim.HandlerFunc(func(*sim.Event) {
+		defer func() { panicked = recover() != nil }()
+		for _, f := range m.Packets[0].Flits {
+			f.VC = 0
+			r.ReceiveFlit(0, f)
+		}
+	}), sim.Time{Tick: 1}, 0, nil)
+	s.Run()
+	if !panicked {
+		t.Fatal("expected buffer overrun panic")
+	}
+}
+
+func TestIQRejectsUnregisteredVC(t *testing.T) {
+	s, r, _, _ := buildLoneRouter(t, iqDoc, 2, 8)
+	m := types.NewMessage(1, 0, 5, 9, 1, 1)
+	m.Packets[0].Flits[0].VC = 7
+	panicked := false
+	s.Schedule(sim.HandlerFunc(func(*sim.Event) {
+		defer func() { panicked = recover() != nil }()
+		r.ReceiveFlit(0, m.Packets[0].Flits[0])
+	}), sim.Time{Tick: 1}, 0, nil)
+	s.Run()
+	if !panicked {
+		t.Fatal("expected unregistered VC panic")
+	}
+}
+
+func TestIQRoutingToUnusedPortRejected(t *testing.T) {
+	// Route to port 1 but leave it unconnected: validateResponse must panic.
+	s := sim.NewSimulator(1)
+	r := New(s, "r0", config.MustParse(iqDoc), Params{
+		ID: 0, Radix: 2, RoutingCtor: passCtor(2), ChannelPeriod: 1,
+	})
+	crs := &creditSink{}
+	cc := channel.NewCredit(s, "cr", 1)
+	cc.SetSink(crs, 0)
+	r.ConnectCreditOut(0, cc)
+	m := types.NewMessage(1, 0, 5, 9, 1, 1)
+	m.Packets[0].Flits[0].VC = 0
+	s.Schedule(sim.HandlerFunc(func(*sim.Event) {
+		r.ReceiveFlit(0, m.Packets[0].Flits[0])
+	}), sim.Time{Tick: 1}, 0, nil)
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		s.Run()
+	}()
+	if !panicked {
+		t.Fatal("expected unused-port rejection")
+	}
+}
+
+func TestIOQForwardsThroughOutputQueue(t *testing.T) {
+	doc := `{
+	  "architecture": "input_output_queued",
+	  "num_vcs": 2,
+	  "speedup": 1,
+	  "input_buffer_depth": 8,
+	  "output_queue_depth": 4,
+	  "crossbar_latency": 2
+	}`
+	s, r, out, _ := buildLoneRouter(t, doc, 2, 8)
+	pushPacket(s, r, 3, 1, 10)
+	s.Run()
+	if len(out.flits) != 3 {
+		t.Fatalf("forwarded %d flits", len(out.flits))
+	}
+	r.VerifyIdle()
+}
+
+func TestOQForwardsAndSensesOccupancy(t *testing.T) {
+	doc := `{
+	  "architecture": "output_queued",
+	  "num_vcs": 1,
+	  "input_buffer_depth": 8,
+	  "queue_latency": 5,
+	  "output_queue_depth": 16,
+	  "congestion_sensor": {"granularity": "port", "source": "output"}
+	}`
+	s, r, out, _ := buildLoneRouter(t, doc, 1, 0x100000)
+	pushPacket(s, r, 4, 0, 10)
+	s.Run()
+	if len(out.flits) != 4 {
+		t.Fatalf("forwarded %d flits", len(out.flits))
+	}
+	r.VerifyIdle()
+	if r.Sensor().Congestion(s.Now().Tick, 1, 0) != 0 {
+		t.Fatal("sensor should read zero when idle")
+	}
+}
+
+func TestRouterAccessors(t *testing.T) {
+	_, r, _, _ := buildLoneRouter(t, iqDoc, 2, 8)
+	if r.ID() != 0 || r.Radix() != 2 || r.NumVCs() != 2 || r.InputBufferDepth() != 8 {
+		t.Fatal("accessor values wrong")
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	s := sim.NewSimulator(1)
+	mk := func(doc string, p Params) func() {
+		return func() { New(s, "r", config.MustParse(doc), p) }
+	}
+	base := Params{ID: 0, Radix: 2, RoutingCtor: passCtor(1), ChannelPeriod: 2}
+	cases := []func(){
+		mk(`{"architecture": "nope"}`, base),
+		mk(`{"architecture": "input_queued", "num_vcs": 0}`, base),
+		mk(`{"architecture": "input_queued", "input_buffer_depth": 0}`, base),
+		mk(`{"architecture": "input_queued", "speedup": 3}`, base), // does not divide period 2
+		mk(`{"architecture": "input_queued", "routing_latency": 0}`, base),
+		mk(`{"architecture": "input_queued", "crossbar_latency": 0}`, base),
+		mk(`{"architecture": "output_queued", "queue_latency": 0}`, base),
+		mk(`{"architecture": "input_queued"}`, Params{ID: 0, Radix: 0, RoutingCtor: passCtor(1), ChannelPeriod: 1}),
+		mk(`{"architecture": "input_queued"}`, Params{ID: 0, Radix: 2, RoutingCtor: nil, ChannelPeriod: 1}),
+		mk(`{"architecture": "input_queued"}`, Params{ID: 0, Radix: 2, RoutingCtor: passCtor(1), ChannelPeriod: 0}),
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

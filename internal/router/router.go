@@ -1,0 +1,73 @@
+// Package router implements the router microarchitecture models: the
+// idealistic output-queued (OQ) architecture, the input-queued (IQ)
+// architecture, and the combined input-output-queued (IOQ) architecture.
+// All three are assembled from common building blocks — input queues, credit
+// counters, crossbars, crossbar schedulers with configurable flow control
+// (flit-buffer, packet-buffer, winner-take-all), VC schedulers and
+// congestion sensors — and are configured entirely through JSON settings.
+package router
+
+import (
+	"supersim/internal/channel"
+	"supersim/internal/config"
+	"supersim/internal/congestion"
+	"supersim/internal/factory"
+	"supersim/internal/routing"
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+// Router is the abstract router model. A router is agnostic of topology: the
+// network builds it, wires channels to its ports and supplies the routing
+// algorithm constructor.
+type Router interface {
+	sim.Component
+	types.FlitSink
+	types.CreditSink
+
+	// ID returns the router's index within the network.
+	ID() int
+	// Radix returns the number of ports.
+	Radix() int
+	// NumVCs returns the number of virtual channels per port.
+	NumVCs() int
+	// InputBufferDepth returns the per-VC input buffer capacity in flits,
+	// which is the credit count the upstream device starts with.
+	InputBufferDepth() int
+	// Sensor returns the router's congestion sensor.
+	Sensor() congestion.Tracker
+
+	// VerifyIdle panics unless the router is completely quiescent: all
+	// queues empty, no allocations held, and every downstream credit
+	// returned. The framework calls it after the network drains to catch
+	// leaks (lost flits, stuck packets, credit accounting errors).
+	VerifyIdle()
+
+	// ConnectOutput wires the flit channel leaving output port.
+	ConnectOutput(port int, ch *channel.Channel)
+	// ConnectCreditOut wires the credit channel returning credits upstream
+	// for the given input port.
+	ConnectCreditOut(port int, cc *channel.CreditChannel)
+	// SetDownstreamCredits initializes the per-VC credit count for an output
+	// port to the downstream device's input buffer depth.
+	SetDownstreamCredits(port int, perVC int)
+}
+
+// Params carries the construction inputs a network supplies to a router.
+type Params struct {
+	ID            int
+	Radix         int
+	RoutingCtor   routing.Ctor
+	ChannelPeriod sim.Tick // link cycle time in ticks
+}
+
+// Ctor is the constructor signature registered by router architectures.
+type Ctor func(s *sim.Simulator, name string, cfg *config.Settings, p Params) Router
+
+// Registry holds all router architecture implementations.
+var Registry = factory.NewRegistry[Ctor]("router")
+
+// New builds the router architecture named by cfg's "architecture" setting.
+func New(s *sim.Simulator, name string, cfg *config.Settings, p Params) Router {
+	return Registry.MustLookup(cfg.String("architecture"))(s, name, cfg, p)
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+// BenchmarkHeapChurn measures schedule+execute throughput with a realistic
+// pending-set size (the event queue is the simulator's hottest structure).
+func BenchmarkHeapChurn(b *testing.B) {
+	s := NewSimulator(1)
+	var h Handler
+	h = HandlerFunc(func(ev *Event) {
+		s.Schedule(h, s.Now().Plus(1+Tick(ev.Type%101)), ev.Type, nil)
+	})
+	const pending = 4096
+	for i := 0; i < pending; i++ {
+		s.Schedule(h, Time{Tick: Tick(i%101) + 1}, i, nil)
+	}
+	b.ResetTimer()
+	executed := uint64(0)
+	for executed < uint64(b.N) {
+		executed += s.RunUntil(s.Now().Tick + 101)
+	}
+}
+
+// BenchmarkSchedule measures raw push cost into a deep queue.
+func BenchmarkSchedule(b *testing.B) {
+	s := NewSimulator(1)
+	h := HandlerFunc(func(ev *Event) {})
+	for i := 0; i < b.N; i++ {
+		s.Schedule(h, Time{Tick: Tick(i) + 1}, 0, nil)
+	}
+}

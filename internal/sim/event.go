@@ -1,0 +1,107 @@
+package sim
+
+// Handler is anything that can execute events. Components embed ComponentBase
+// and implement ProcessEvent to receive the events they scheduled.
+type Handler interface {
+	// ProcessEvent executes an event previously scheduled by this handler.
+	// The event object is owned by the simulator and recycled after the call
+	// returns; handlers must not retain it.
+	ProcessEvent(ev *Event)
+}
+
+// Event is a unit of future work in the simulation. It carries its execution
+// time, the handler that will perform the execution, and optional handler
+// specific data (an integer type tag and a context pointer).
+type Event struct {
+	Time    Time
+	Handler Handler
+	Type    int
+	Context any
+
+	seq uint64 // FIFO tiebreak among identical times (determinism)
+}
+
+// heapEntry stores an event's ordering key inline so heap comparisons touch
+// contiguous memory instead of chasing event pointers — the event queue is
+// the simulator's hottest data structure by far.
+type heapEntry struct {
+	tick Tick
+	eps  Epsilon
+	seq  uint64
+	ev   *Event
+}
+
+func entryLess(a, b *heapEntry) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	if a.eps != b.eps {
+		return a.eps < b.eps
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap of events ordered by (tick, epsilon, seq).
+// It is implemented directly (rather than via container/heap) to avoid
+// interface conversions on the hot path.
+type eventHeap struct {
+	a []heapEntry
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(e *Event) {
+	h.a = append(h.a, heapEntry{tick: e.Time.Tick, eps: e.Time.Eps, seq: e.seq, ev: e})
+	// sift up
+	a := h.a
+	i := len(a) - 1
+	item := a[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(&item, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = item
+}
+
+func (h *eventHeap) pop() *Event {
+	a := h.a
+	n := len(a)
+	top := a[0].ev
+	last := a[n-1]
+	a[n-1].ev = nil
+	h.a = a[:n-1]
+	n--
+	if n == 0 {
+		return top
+	}
+	// sift down the previous last element
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		m := l
+		if r < n && entryLess(&a[r], &a[l]) {
+			m = r
+		}
+		if !entryLess(&a[m], &last) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = last
+	return top
+}
+
+func (h *eventHeap) peek() *Event {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0].ev
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Simulator is the global simulation object: it owns the event priority
+// queue, the current time, and the simulation-wide pseudo random number
+// generator. Each component links to the Simulator and pushes its new events
+// into the queue; the executer sequentially pulls events and executes them
+// until the queue runs empty.
+//
+// A Simulator is single-threaded and deterministic: the same configuration
+// and seed always produce the same event order and the same results.
+type Simulator struct {
+	queue    eventHeap
+	now      Time
+	running  bool
+	stopped  bool
+	executed uint64
+	seqGen   uint64
+	free     []*Event
+	rng      *rand.Rand
+	seed     uint64
+
+	// Monitor, if non-nil, is invoked every MonitorInterval executed events.
+	Monitor         func(now Time, executed uint64)
+	MonitorInterval uint64
+}
+
+// NewSimulator creates a simulator with the given PRNG seed.
+func NewSimulator(seed uint64) *Simulator {
+	return &Simulator{
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+	}
+}
+
+// Now returns the current simulation time. While an event executes, Now is
+// that event's time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Seed returns the PRNG seed the simulator was created with.
+func (s *Simulator) Seed() uint64 { return s.seed }
+
+// Rand returns the simulation-wide PRNG. Components must use this generator
+// (or one derived from it) so simulations are reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return s.queue.len() }
+
+// Schedule enqueues an event for the handler at the given time with a type
+// tag and context pointer. The time must not be in the past; scheduling at
+// the current (tick, epsilon) is also rejected because execution order would
+// be ambiguous with respect to the running event.
+func (s *Simulator) Schedule(h Handler, t Time, typ int, ctx any) {
+	if h == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if s.running && !s.now.Before(t) {
+		panic(fmt.Sprintf("sim: event scheduled at %v not after now %v", t, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.Time = t
+	e.Handler = h
+	e.Type = typ
+	e.Context = ctx
+	s.seqGen++
+	e.seq = s.seqGen // FIFO tiebreak among identical times
+	s.queue.push(e)
+}
+
+// Stop makes Run return after the currently executing event completes, even
+// if events remain queued. It is used by error paths and by workload
+// controllers that decide a simulation is complete.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Run executes events in time order until the queue runs empty or Stop is
+// called. It returns the number of events executed by this call.
+func (s *Simulator) Run() uint64 {
+	start := s.executed
+	s.running = true
+	for s.queue.len() > 0 && !s.stopped {
+		e := s.queue.pop()
+		if e.Time.Before(s.now) {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
+		}
+		s.now = e.Time
+		h := e.Handler
+		s.executed++
+		h.ProcessEvent(e)
+		e.Handler = nil
+		e.Context = nil
+		s.free = append(s.free, e)
+		if s.Monitor != nil && s.MonitorInterval > 0 && s.executed%s.MonitorInterval == 0 {
+			s.Monitor(s.now, s.executed)
+		}
+	}
+	s.running = false
+	return s.executed - start
+}
+
+// RunUntil executes events whose time is strictly before the given tick, then
+// returns. The simulation can be resumed with further Run/RunUntil calls.
+func (s *Simulator) RunUntil(tick Tick) uint64 {
+	start := s.executed
+	s.running = true
+	for s.queue.len() > 0 && !s.stopped {
+		e := s.queue.peek()
+		if e.Time.Tick >= tick {
+			break
+		}
+		e = s.queue.pop()
+		s.now = e.Time
+		h := e.Handler
+		s.executed++
+		h.ProcessEvent(e)
+		e.Handler = nil
+		e.Context = nil
+		s.free = append(s.free, e)
+	}
+	s.running = false
+	return s.executed - start
+}

@@ -1,0 +1,74 @@
+// Package sim implements the discrete event simulation (DES) core of the
+// simulator: the hierarchical tick+epsilon time representation, multi-frequency
+// clocks, the global event queue, and the component abstraction that all
+// simulation models derive from.
+//
+// A simulation is natively built of Components which create Events. An Event
+// holds a time value indicating when it is to be executed and a reference to
+// the Component that performs the execution. The Simulator's priority queue
+// sorts events so the event with the earliest execution time is at the head;
+// the executer sequentially pulls events and executes them. The simulation is
+// over when the event queue runs empty.
+package sim
+
+import "fmt"
+
+// Epsilon orders operations performed within one time tick. Epsilons do not
+// represent real time; they only maintain order of operation within a tick.
+type Epsilon = uint32
+
+// Tick is the unit of real simulated time. The user decides the value of a
+// tick (1 nanosecond, 457 picoseconds, one clock cycle, ...). All experiment
+// code in this repository uses 1 tick = 1 picosecond unless noted.
+type Tick = uint64
+
+// Time is the hierarchical simulation time: a tick value plus an epsilon used
+// to order same-tick operations. A lower tick is always higher priority
+// regardless of epsilon; equal ticks compare epsilons.
+type Time struct {
+	Tick Tick
+	Eps  Epsilon
+}
+
+// TimeZero is the origin of simulated time.
+var TimeZero = Time{0, 0}
+
+// Before reports whether t executes strictly earlier than u.
+func (t Time) Before(u Time) bool {
+	if t.Tick != u.Tick {
+		return t.Tick < u.Tick
+	}
+	return t.Eps < u.Eps
+}
+
+// After reports whether t executes strictly later than u.
+func (t Time) After(u Time) bool { return u.Before(t) }
+
+// Compare returns -1, 0 or +1 as t is before, equal to, or after u.
+func (t Time) Compare(u Time) int {
+	switch {
+	case t.Before(u):
+		return -1
+	case u.Before(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Plus returns the time dt ticks later, with epsilon reset to zero.
+func (t Time) Plus(dt Tick) Time { return Time{t.Tick + dt, 0} }
+
+// NextEps returns the same tick with the epsilon incremented. It panics on
+// epsilon overflow, which invariably indicates an event scheduling loop.
+func (t Time) NextEps() Time {
+	if t.Eps == ^Epsilon(0) {
+		panic(fmt.Sprintf("sim: epsilon overflow at tick %d", t.Tick))
+	}
+	return Time{t.Tick, t.Eps + 1}
+}
+
+// WithEps returns the same tick with the given epsilon.
+func (t Time) WithEps(e Epsilon) Time { return Time{t.Tick, e} }
+
+func (t Time) String() string { return fmt.Sprintf("%d.%d", t.Tick, t.Eps) }

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeBefore(t *testing.T) {
+	cases := []struct {
+		a, b   Time
+		before bool
+	}{
+		{Time{0, 0}, Time{0, 0}, false},
+		{Time{0, 0}, Time{0, 1}, true},
+		{Time{0, 1}, Time{0, 0}, false},
+		{Time{0, 5}, Time{1, 0}, true}, // lower tick always wins over epsilon
+		{Time{1, 0}, Time{0, 5}, false},
+		{Time{3, 2}, Time{3, 2}, false},
+		{Time{3, 2}, Time{3, 3}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.before {
+			t.Errorf("(%v).Before(%v) = %v, want %v", c.a, c.b, got, c.before)
+		}
+	}
+}
+
+func TestTimeAfterAndCompare(t *testing.T) {
+	a, b := Time{1, 2}, Time{1, 3}
+	if !b.After(a) || a.After(b) {
+		t.Fatal("After inconsistent")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare inconsistent")
+	}
+}
+
+func TestTimePlusResetsEpsilon(t *testing.T) {
+	got := Time{5, 7}.Plus(3)
+	if got != (Time{8, 0}) {
+		t.Fatalf("Plus = %v, want 8.0", got)
+	}
+}
+
+func TestTimeNextEps(t *testing.T) {
+	got := Time{5, 7}.NextEps()
+	if got != (Time{5, 8}) {
+		t.Fatalf("NextEps = %v, want 5.8", got)
+	}
+}
+
+func TestTimeNextEpsOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on epsilon overflow")
+		}
+	}()
+	Time{1, ^Epsilon(0)}.NextEps()
+}
+
+func TestTimeWithEps(t *testing.T) {
+	if got := (Time{9, 1}).WithEps(4); got != (Time{9, 4}) {
+		t.Fatalf("WithEps = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := (Time{12, 3}).String(); s != "12.3" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: Before is a strict total order consistent with Compare.
+func TestTimeOrderProperties(t *testing.T) {
+	total := func(at, bt uint64, ae, be uint32) bool {
+		a, b := Time{at, ae}, Time{bt, be}
+		// exactly one of: a<b, b<a, a==b
+		n := 0
+		if a.Before(b) {
+			n++
+		}
+		if b.Before(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(total, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(at, bt uint64, ae, be uint32) bool {
+		a, b := Time{at, ae}, Time{bt, be}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}

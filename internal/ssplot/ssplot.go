@@ -1,0 +1,153 @@
+// Package ssplot renders the analysis plots of the ecosystem — load versus
+// latency, percentile distributions, PDFs/CDFs and transient time series —
+// as CSV data files and as ASCII line plots for terminals. It is the
+// stdlib-only counterpart of the original Matplotlib-based SSPlot tool: the
+// numeric series are identical; only the rendering backend differs.
+package ssplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled line of (x, y) points.
+type Series struct {
+	Label string
+	XY    [][2]float64
+}
+
+// WriteCSV emits all series as a wide CSV: x, then one y column per series.
+// Rows are the union of x values; missing points are empty cells.
+func WriteCSV(w io.Writer, series []Series) error {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, "x")
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	// Union of x values in ascending order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.XY {
+			if !seen[p[0]] {
+				seen[p[0]] = true
+				xs = append(xs, p[0])
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.XY {
+				if p[0] == x {
+					cell = trimFloat(p[1])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Plot renders an ASCII line plot of the series into w. Each series gets a
+// distinct marker; a legend follows the axes. Non-finite values are skipped.
+func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.XY {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if !any {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := "ox+*#@%&"
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.XY {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			c := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((p[1]-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = m
+		}
+	}
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%-10s", short(maxY))
+		} else if r == height-1 {
+			label = fmt.Sprintf("%-10s", short(minY))
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%10s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s %-12s%*s\n", "", short(minX), width-12, short(maxX))
+	fmt.Fprintf(w, "x: %s, y: %s\n", xlabel, ylabel)
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+}
+
+func short(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

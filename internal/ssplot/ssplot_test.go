@@ -1,0 +1,115 @@
+package ssplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() []Series {
+	return []Series{
+		{Label: "fb", XY: [][2]float64{{0.1, 100}, {0.5, 150}, {0.9, 400}}},
+		{Label: "pb", XY: [][2]float64{{0.1, 110}, {0.5, 200}, {0.9, 900}}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,fb,pb" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if lines[1] != "0.1,100,110" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVMissingCells(t *testing.T) {
+	series := []Series{
+		{Label: "a", XY: [][2]float64{{1, 10}}},
+		{Label: "b", XY: [][2]float64{{2, 20}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "1,10," || lines[2] != "2,,20" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestPlotContainsMarkersAndLegend(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "load vs latency", "load", "latency", sample(), 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "load vs latency") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x fb") == false {
+		// legend lines: "  o fb" and "  x pb"
+	}
+	if !strings.Contains(out, "o fb") || !strings.Contains(out, "x pb") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: load, y: latency") {
+		t.Fatal("missing axis labels")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	s := []Series{{Label: "a", XY: [][2]float64{
+		{1, 5}, {2, math.NaN()}, {3, math.Inf(1)}, {4, 8},
+	}}}
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", s, 30, 8)
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into plot")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// Single point: min == max on both axes must not divide by zero.
+	s := []Series{{Label: "a", XY: [][2]float64{{5, 5}}}}
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", s, 30, 8)
+	if !strings.Contains(buf.String(), "o") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestPlotTinyDimensionsClamped(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", sample(), 1, 1) // clamped to minimums
+	if len(buf.String()) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestShortFormat(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5",
+		1500:    "1.5k",
+		2500000: "2.5M",
+	}
+	for v, want := range cases {
+		if got := short(v); got != want {
+			t.Errorf("short(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ssplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svg palette for series strokes.
+var svgColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+	"#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// WriteSVG renders the series as a standalone SVG line chart. It is the
+// backend used by the sweep report's web viewer; no external libraries are
+// involved.
+func WriteSVG(w io.Writer, title, xlabel, ylabel string, series []Series, width, height int) error {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const mL, mR, mT, mB = 70, 160, 40, 50 // margins (legend right)
+	plotW, plotH := width-mL-mR, height-mT-mB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.XY {
+			if !finite(p[0]) || !finite(p[1]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(mL) + (x-minX)/(maxX-minX)*float64(plotW) }
+	py := func(y float64) float64 { return float64(mT+plotH) - (y-minY)/(maxY-minY)*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", mL, escape(title))
+	// axes
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, mT+plotH, mL+plotW, mT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, mT, mL, mT+plotH)
+	// ticks: min and max on both axes
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", mL, mT+plotH+20, short(minX))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", mL+plotW, mT+plotH+20, short(maxX))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", mL-6, mT+plotH, short(minY))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", mL-6, mT+12, short(maxY))
+	// axis labels
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", mL+plotW/2, height-10, escape(xlabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		mT+plotH/2, mT+plotH/2, escape(ylabel))
+	// series
+	for si, s := range series {
+		color := svgColors[si%len(svgColors)]
+		var pts []string
+		for _, p := range s.XY {
+			if !finite(p[0]) || !finite(p[1]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p[0]), py(p[1])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// legend
+		ly := mT + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", mL+plotW+10, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", mL+plotW+24, ly+9, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,58 @@
+package ssplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, "t<itle>", "load", "latency", sample(), 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"t&lt;itle&gt;", // escaped title
+		"fb", "pb",      // legend
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(out, "polyline") != 2 {
+		t.Fatalf("want 2 polylines")
+	}
+}
+
+func TestWriteSVGEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, "e", "x", "y", nil, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no svg emitted")
+	}
+	buf.Reset()
+	one := []Series{{Label: "p", XY: [][2]float64{{5, 5}}}}
+	if err := WriteSVG(&buf, "d", "x", "y", one, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "circle") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestWriteSVGSkipsNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Label: "a", XY: [][2]float64{{1, 2}, {math.NaN(), 3}, {4, math.Inf(1)}, {5, 6}}}}
+	if err := WriteSVG(&buf, "t", "x", "y", s, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatal("non-finite values leaked")
+	}
+}

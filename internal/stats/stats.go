@@ -1,0 +1,318 @@
+// Package stats implements the latency and throughput statistics gathered
+// during a simulation's sampling window: aggregate summaries (mean,
+// percentiles), full latency distributions (PDF/CDF/percentile curves) and
+// time-binned series for transient analysis. Viewing latency distributions —
+// not just average latency — is of critical importance to all the analysis
+// tooling.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"supersim/internal/sim"
+)
+
+// Sample is one completed transfer (message or packet).
+type Sample struct {
+	Start      sim.Tick // creation time
+	End        sim.Tick // delivery time
+	Flits      int
+	Hops       int
+	NonMinimal bool
+	App        int
+	Src, Dst   int
+}
+
+// Latency returns the end-to-end latency in ticks.
+func (s Sample) Latency() sim.Tick { return s.End - s.Start }
+
+// Provider is implemented by application models that expose their sampled
+// transfers (Blast, Pulse); tools use it to extract statistics generically.
+type Provider interface {
+	Stats() *Recorder
+}
+
+// Recorder accumulates samples.
+type Recorder struct {
+	samples []Sample
+	sorted  []float64 // lazily built latency vector
+	dirty   bool
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sample. End must not precede Start.
+func (r *Recorder) Record(s Sample) {
+	if s.End < s.Start {
+		panic(fmt.Sprintf("stats: sample ends (%d) before it starts (%d)", s.End, s.Start))
+	}
+	r.samples = append(r.samples, s)
+	r.dirty = true
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Samples returns the raw samples (read-only).
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Flits returns the total flits across all samples.
+func (r *Recorder) Flits() int {
+	n := 0
+	for _, s := range r.samples {
+		n += s.Flits
+	}
+	return n
+}
+
+// NonMinimalFraction returns the fraction of samples that took a non-minimal
+// route.
+func (r *Recorder) NonMinimalFraction() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range r.samples {
+		if s.NonMinimal {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.samples))
+}
+
+func (r *Recorder) latencies() []float64 {
+	if r.dirty || r.sorted == nil {
+		r.sorted = r.sorted[:0]
+		for _, s := range r.samples {
+			r.sorted = append(r.sorted, float64(s.Latency()))
+		}
+		sort.Float64s(r.sorted)
+		r.dirty = false
+	}
+	return r.sorted
+}
+
+// Mean returns the average latency; NaN with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, s := range r.samples {
+		sum += float64(s.Latency())
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Min returns the smallest latency; NaN with no samples.
+func (r *Recorder) Min() float64 {
+	l := r.latencies()
+	if len(l) == 0 {
+		return math.NaN()
+	}
+	return l[0]
+}
+
+// Max returns the largest latency; NaN with no samples.
+func (r *Recorder) Max() float64 {
+	l := r.latencies()
+	if len(l) == 0 {
+		return math.NaN()
+	}
+	return l[len(l)-1]
+}
+
+// Percentile returns the p-th percentile latency (p in [0, 100]), using
+// nearest-rank on the sorted latencies. NaN with no samples.
+func (r *Recorder) Percentile(p float64) float64 {
+	l := r.latencies()
+	if len(l) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l))))
+	if rank < 1 {
+		rank = 1
+	}
+	return l[rank-1]
+}
+
+// MeanHops returns the average hop count; NaN with no samples.
+func (r *Recorder) MeanHops() float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0
+	for _, s := range r.samples {
+		sum += s.Hops
+	}
+	return float64(sum) / float64(len(r.samples))
+}
+
+// Summary is the aggregate view of a recorder, convenient for tabulation.
+type Summary struct {
+	Count                int
+	Mean, Min, Max       float64
+	P50, P90, P99        float64
+	P999, P9999          float64
+	MeanHops, NonMinimal float64
+	TotalFlits           int
+}
+
+// Summarize computes the standard aggregate set.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Count:      r.Count(),
+		Mean:       r.Mean(),
+		Min:        r.Min(),
+		Max:        r.Max(),
+		P50:        r.Percentile(50),
+		P90:        r.Percentile(90),
+		P99:        r.Percentile(99),
+		P999:       r.Percentile(99.9),
+		P9999:      r.Percentile(99.99),
+		MeanHops:   r.MeanHops(),
+		NonMinimal: r.NonMinimalFraction(),
+		TotalFlits: r.Flits(),
+	}
+}
+
+// PercentileCurve returns (percentile, latency) points for the percentile
+// distribution plot, at the given percentile values.
+func (r *Recorder) PercentileCurve(points []float64) [][2]float64 {
+	out := make([][2]float64, len(points))
+	for i, p := range points {
+		out[i] = [2]float64{p, r.Percentile(p)}
+	}
+	return out
+}
+
+// CDF returns (latency, cumulative fraction) points over the sample set.
+func (r *Recorder) CDF() [][2]float64 {
+	l := r.latencies()
+	if len(l) == 0 {
+		return nil
+	}
+	var out [][2]float64
+	for i, v := range l {
+		// keep only the last point of runs of equal latency
+		if i+1 < len(l) && l[i+1] == v {
+			continue
+		}
+		out = append(out, [2]float64{v, float64(i+1) / float64(len(l))})
+	}
+	return out
+}
+
+// PDF returns a bucketed probability density: `buckets` equal-width bins
+// over [min, max], each point (bucket center, fraction).
+func (r *Recorder) PDF(buckets int) [][2]float64 {
+	l := r.latencies()
+	if len(l) == 0 || buckets <= 0 {
+		return nil
+	}
+	lo, hi := l[0], l[len(l)-1]
+	if hi == lo {
+		return [][2]float64{{lo, 1}}
+	}
+	width := (hi - lo) / float64(buckets)
+	counts := make([]int, buckets)
+	for _, v := range l {
+		b := int((v - lo) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	out := make([][2]float64, buckets)
+	for b, c := range counts {
+		out[b] = [2]float64{lo + (float64(b)+0.5)*width, float64(c) / float64(len(l))}
+	}
+	return out
+}
+
+// TimeSeries bins samples by end time and returns (bin center tick, mean
+// latency) points — the transient view used to watch one application disturb
+// another.
+func (r *Recorder) TimeSeries(binWidth sim.Tick) [][2]float64 {
+	if len(r.samples) == 0 || binWidth == 0 {
+		return nil
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	bins := map[uint64]*agg{}
+	var minB, maxB uint64
+	first := true
+	for _, s := range r.samples {
+		b := uint64(s.End / binWidth)
+		a := bins[b]
+		if a == nil {
+			a = &agg{}
+			bins[b] = a
+		}
+		a.sum += float64(s.Latency())
+		a.n++
+		if first || b < minB {
+			minB = b
+		}
+		if first || b > maxB {
+			maxB = b
+		}
+		first = false
+	}
+	var out [][2]float64
+	for b := minB; b <= maxB; b++ {
+		if a := bins[b]; a != nil {
+			center := float64(b)*float64(binWidth) + float64(binWidth)/2
+			out = append(out, [2]float64{center, a.sum / float64(a.n)})
+		}
+	}
+	return out
+}
+
+// ChannelCounter is the view of a link needed for utilization statistics
+// (satisfied by *channel.Channel).
+type ChannelCounter interface {
+	Injected() uint64
+	Period() sim.Tick
+}
+
+// ChannelUtilization summarizes link usage over a time window: the mean,
+// min and max utilization across all channels, each as a fraction of the
+// channel's flit capacity for the window. Counters must be snapshotted by
+// the caller at the window start (pass the deltas).
+func ChannelUtilization(flits []uint64, periods []sim.Tick, window sim.Tick) (mean, min, max float64) {
+	if len(flits) == 0 || window == 0 {
+		return 0, 0, 0
+	}
+	if len(flits) != len(periods) {
+		panic("stats: flits/periods length mismatch")
+	}
+	min = math.Inf(1)
+	sum := 0.0
+	for i, f := range flits {
+		capacity := float64(window) / float64(periods[i])
+		u := float64(f) / capacity
+		sum += u
+		min = math.Min(min, u)
+		max = math.Max(max, u)
+	}
+	return sum / float64(len(flits)), min, max
+}
+
+// Throughput returns the accepted load as a fraction of terminal channel
+// capacity: flits delivered per terminal per channel cycle over the window.
+func Throughput(totalFlits int, terminals int, window sim.Tick, chanPeriod sim.Tick) float64 {
+	if terminals <= 0 || window == 0 {
+		return 0
+	}
+	cycles := float64(window) / float64(chanPeriod)
+	return float64(totalFlits) / (float64(terminals) * cycles)
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"supersim/internal/sim"
+)
+
+func rec(latencies ...sim.Tick) *Recorder {
+	r := NewRecorder()
+	for i, l := range latencies {
+		r.Record(Sample{Start: 100, End: 100 + l, Flits: 1, Hops: 2 + i%3, App: 0, Src: i, Dst: i + 1})
+	}
+	return r
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Count() != 0 || r.Flits() != 0 {
+		t.Fatal("counts")
+	}
+	for _, v := range []float64{r.Mean(), r.Min(), r.Max(), r.Percentile(50), r.MeanHops()} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty stats should be NaN, got %v", v)
+		}
+	}
+	if r.NonMinimalFraction() != 0 {
+		t.Fatal("nonmin of empty")
+	}
+	if r.CDF() != nil || r.PDF(10) != nil || r.TimeSeries(10) != nil {
+		t.Fatal("distributions of empty should be nil")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	r := rec(10, 20, 30, 40)
+	if r.Mean() != 25 || r.Min() != 10 || r.Max() != 40 {
+		t.Fatalf("mean=%v min=%v max=%v", r.Mean(), r.Min(), r.Max())
+	}
+	if r.Count() != 4 || r.Flits() != 4 {
+		t.Fatal("count/flits")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := rec(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	cases := map[float64]float64{0: 1, 10: 1, 50: 5, 90: 9, 100: 10, 99: 10}
+	for p, want := range cases {
+		if got := r.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	r := rec(1)
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) should panic", p)
+				}
+			}()
+			r.Percentile(p)
+		}()
+	}
+}
+
+func TestRecordRejectsBackwardsSample(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Record(Sample{Start: 10, End: 5})
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(lats []uint16, a, b uint8) bool {
+		if len(lats) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		for _, l := range lats {
+			r.Record(Sample{Start: 0, End: sim.Tick(l), Flits: 1})
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		// monotone, and bounded by min/max
+		return r.Percentile(pa) <= r.Percentile(pb) &&
+			r.Percentile(0) == r.Min() && r.Percentile(100) == r.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderIncrementalSortInvalidation(t *testing.T) {
+	r := rec(5, 1)
+	if r.Percentile(100) != 5 {
+		t.Fatal("initial sort")
+	}
+	r.Record(Sample{Start: 0, End: 100, Flits: 1})
+	if r.Percentile(100) != 100 {
+		t.Fatal("recorder did not re-sort after new sample")
+	}
+}
+
+func TestNonMinimalFraction(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Record(Sample{Start: 0, End: 1, NonMinimal: i < 3})
+	}
+	if got := r.NonMinimalFraction(); got != 0.3 {
+		t.Fatalf("nonmin = %v", got)
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Sample{Start: 0, End: 1, Hops: 2})
+	r.Record(Sample{Start: 0, End: 1, Hops: 4})
+	if r.MeanHops() != 3 {
+		t.Fatalf("MeanHops = %v", r.MeanHops())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := rec(10, 20, 30)
+	s := r.Summarize()
+	if s.Count != 3 || s.Mean != 20 || s.Min != 10 || s.Max != 30 || s.TotalFlits != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P50 != 20 || s.P999 != 30 {
+		t.Fatalf("summary percentiles %+v", s)
+	}
+}
+
+func TestPercentileCurve(t *testing.T) {
+	r := rec(1, 2, 3, 4)
+	curve := r.PercentileCurve([]float64{25, 50, 100})
+	if len(curve) != 3 || curve[0][1] != 1 || curve[2][1] != 4 {
+		t.Fatalf("curve %v", curve)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	r := rec(10, 10, 20, 40)
+	cdf := r.CDF()
+	want := [][2]float64{{10, 0.5}, {20, 0.75}, {40, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("cdf %v", cdf)
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Fatalf("cdf %v, want %v", cdf, want)
+		}
+	}
+}
+
+func TestPDFSumsToOne(t *testing.T) {
+	r := rec(1, 5, 9, 13, 17, 21, 25, 29)
+	pdf := r.PDF(4)
+	total := 0.0
+	for _, p := range pdf {
+		total += p[1]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("pdf mass = %v", total)
+	}
+	if len(pdf) != 4 {
+		t.Fatalf("buckets = %d", len(pdf))
+	}
+}
+
+func TestPDFDegenerate(t *testing.T) {
+	r := rec(7, 7, 7)
+	pdf := r.PDF(10)
+	if len(pdf) != 1 || pdf[0][0] != 7 || pdf[0][1] != 1 {
+		t.Fatalf("degenerate pdf %v", pdf)
+	}
+	if r.PDF(0) != nil {
+		t.Fatal("zero buckets")
+	}
+}
+
+func TestTimeSeriesBins(t *testing.T) {
+	r := NewRecorder()
+	// bin width 100: ends at 50 (lat 10), 150+160 (lat 20, 40), 350 (lat 5)
+	r.Record(Sample{Start: 40, End: 50})
+	r.Record(Sample{Start: 130, End: 150})
+	r.Record(Sample{Start: 120, End: 160})
+	r.Record(Sample{Start: 345, End: 350})
+	ts := r.TimeSeries(100)
+	if len(ts) != 3 {
+		t.Fatalf("series %v", ts)
+	}
+	if ts[0][1] != 10 || ts[1][1] != 30 || ts[2][1] != 5 {
+		t.Fatalf("series values %v", ts)
+	}
+	// centers ascend
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i][0] < ts[j][0] }) {
+		t.Fatal("series not time ordered")
+	}
+	if r.TimeSeries(0) != nil {
+		t.Fatal("zero bin width")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1000 flits, 10 terminals, 1000-tick window, 1-tick period => 0.1
+	if got := Throughput(1000, 10, 1000, 1); got != 0.1 {
+		t.Fatalf("throughput = %v", got)
+	}
+	// period 2: capacity halves, load doubles
+	if got := Throughput(1000, 10, 1000, 2); got != 0.2 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if Throughput(5, 0, 10, 1) != 0 || Throughput(5, 1, 0, 1) != 0 {
+		t.Fatal("degenerate throughput")
+	}
+}
+
+func TestSampleLatency(t *testing.T) {
+	s := Sample{Start: 100, End: 175}
+	if s.Latency() != 75 {
+		t.Fatalf("latency = %d", s.Latency())
+	}
+}
+
+func TestChannelUtilization(t *testing.T) {
+	// Two channels over a 1000-tick window: 500 flits at period 1 (50%),
+	// 250 flits at period 2 (50% of a 500-flit capacity).
+	mean, min, max := ChannelUtilization([]uint64{500, 100}, []sim.Tick{1, 2}, 1000)
+	if min != 0.2 || max != 0.5 || mean != 0.35 {
+		t.Fatalf("mean=%v min=%v max=%v", mean, min, max)
+	}
+	if m, _, _ := ChannelUtilization(nil, nil, 1000); m != 0 {
+		t.Fatal("empty channels")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected mismatch panic")
+		}
+	}()
+	ChannelUtilization([]uint64{1}, nil, 10)
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"supersim/internal/ssplot"
+)
+
+// WriteReport renders a self-contained HTML report of the sweep results —
+// the counterpart of SSSweep's generated web viewer. It contains the result
+// table and, when an x variable is named, one embedded SVG plot per metric
+// with one line per combination of the remaining variables.
+func WriteReport(w io.Writer, title string, points []Point, xVar string) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>")
+	b.WriteString(htmlEscape(title))
+	b.WriteString(`</title><style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 2em; }
+th, td { border: 1px solid #999; padding: 4px 10px; text-align: right; }
+th { background: #eee; }
+td.id { text-align: left; font-family: monospace; }
+.err { color: #b00; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", htmlEscape(title))
+
+	// Result table.
+	b.WriteString("<table><tr><th>id</th><th>samples</th><th>accepted</th>" +
+		"<th>mean</th><th>p50</th><th>p99</th><th>p99.9</th><th>hops</th><th>nonmin</th></tr>\n")
+	for _, p := range points {
+		if p.Err != nil {
+			fmt.Fprintf(&b, `<tr><td class="id">%s</td><td class="err" colspan="8">%s</td></tr>`+"\n",
+				htmlEscape(p.ID), htmlEscape(p.Err.Error()))
+			continue
+		}
+		s := p.Summary
+		fmt.Fprintf(&b, `<tr><td class="id">%s</td><td>%d</td><td>%.3f</td><td>%.1f</td>`+
+			`<td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.2f</td><td>%.4f</td></tr>`+"\n",
+			htmlEscape(p.ID), s.Count, p.Accepted, s.Mean, s.P50, s.P99, s.P999,
+			s.MeanHops, s.NonMinimal)
+	}
+	b.WriteString("</table>\n")
+
+	if xVar != "" {
+		metrics := []struct {
+			name string
+			get  func(Point) float64
+		}{
+			{"accepted load", func(p Point) float64 { return p.Accepted }},
+			{"mean latency", func(p Point) float64 { return p.Summary.Mean }},
+			{"p99 latency", func(p Point) float64 { return p.Summary.P99 }},
+		}
+		for _, m := range metrics {
+			series := seriesByX(points, xVar, m.get)
+			if len(series) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "<h2>%s vs %s</h2>\n", htmlEscape(m.name), htmlEscape(xVar))
+			if err := ssplot.WriteSVG(&b, m.name, xVar, m.name, series, 640, 360); err != nil {
+				return err
+			}
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesByX groups points into one series per combination of non-x variable
+// values, with the x variable on the horizontal axis. Non-numeric x values
+// are skipped.
+func seriesByX(points []Point, xVar string, get func(Point) float64) []ssplot.Series {
+	group := map[string][][2]float64{}
+	for _, p := range points {
+		if p.Err != nil {
+			continue
+		}
+		xv, ok := toFloat(p.Values[xVar])
+		if !ok {
+			continue
+		}
+		var keyParts []string
+		var names []string
+		for name := range p.Values {
+			if name != xVar {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			keyParts = append(keyParts, fmt.Sprintf("%s=%v", name, p.Values[name]))
+		}
+		key := strings.Join(keyParts, " ")
+		if key == "" {
+			key = "all"
+		}
+		group[key] = append(group[key], [2]float64{xv, get(p)})
+	}
+	var labels []string
+	for k := range group {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	var out []ssplot.Series
+	for _, label := range labels {
+		xy := group[label]
+		sort.Slice(xy, func(i, j int) bool { return xy[i][0] < xy[j][0] })
+		out = append(out, ssplot.Series{Label: label, XY: xy})
+	}
+	return out
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float64:
+		return n, true
+	default:
+		return 0, false
+	}
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

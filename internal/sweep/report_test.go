@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"supersim/internal/stats"
+)
+
+func reportPoints() []Point {
+	return []Point{
+		{
+			ID:       "CL=1_VC=2",
+			Values:   map[string]any{"ChannelLatency": 1, "VCs": 2},
+			Summary:  stats.Summary{Count: 100, Mean: 50, P50: 48, P99: 70, P999: 80, MeanHops: 2},
+			Accepted: 0.5,
+		},
+		{
+			ID:       "CL=8_VC=2",
+			Values:   map[string]any{"ChannelLatency": 8, "VCs": 2},
+			Summary:  stats.Summary{Count: 100, Mean: 90, P50: 85, P99: 120, P999: 140, MeanHops: 2},
+			Accepted: 0.5,
+		},
+		{
+			ID:     "CL=8_VC=4",
+			Values: map[string]any{"ChannelLatency": 8, "VCs": 4},
+			Err:    errors.New("boom <tag>"),
+		},
+	}
+}
+
+func TestWriteReportTableAndPlots(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "my sweep", reportPoints(), "ChannelLatency"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<h1>my sweep</h1>",
+		"CL=1_VC=2",
+		"<svg",
+		"mean latency",
+		"VCs=2",            // series label from the non-x variable
+		"boom &lt;tag&gt;", // errors escaped, not dropped
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out[:600])
+		}
+	}
+}
+
+func TestWriteReportNoXVariable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "t", reportPoints(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no plots expected without an x variable")
+	}
+}
+
+func TestSeriesByXGroupsAndSorts(t *testing.T) {
+	pts := []Point{
+		{Values: map[string]any{"x": 3, "g": "b"}, Accepted: 3},
+		{Values: map[string]any{"x": 1, "g": "b"}, Accepted: 1},
+		{Values: map[string]any{"x": 2, "g": "a"}, Accepted: 2},
+	}
+	series := seriesByX(pts, "x", func(p Point) float64 { return p.Accepted })
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[0].Label != "g=a" || series[1].Label != "g=b" {
+		t.Fatalf("labels %v %v", series[0].Label, series[1].Label)
+	}
+	if series[1].XY[0][0] != 1 || series[1].XY[1][0] != 3 {
+		t.Fatalf("x values unsorted: %v", series[1].XY)
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	for _, c := range []struct {
+		in any
+		ok bool
+	}{
+		{3, true}, {int64(-2), true}, {uint64(7), true}, {2.5, true}, {"x", false},
+	} {
+		if _, ok := toFloat(c.in); ok != c.ok {
+			t.Fatalf("toFloat(%v) ok=%v", c.in, ok)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package sweep generates and executes simulation sweeps: the cross product
+// of one or more sweep variables, each contributing a settings override, is
+// expanded into one simulation per permutation, executed through taskrun,
+// and collected into labeled result points — the in-process counterpart of
+// the original SSSweep tool. A few lines of variable declarations turn into
+// an exhaustive, autonomous simulation and analysis campaign.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"supersim/internal/config"
+	"supersim/internal/core"
+	"supersim/internal/stats"
+	"supersim/internal/taskrun"
+	"supersim/internal/workload"
+)
+
+// Variable is one swept dimension. Apply mutates a copy of the base settings
+// for the given value — typically one cfg.Set call, exactly like the
+// command line override a shell-based sweep would generate.
+type Variable struct {
+	Name   string // long name, used in result points
+	Short  string // short name, used in permutation ids
+	Values []any
+	Apply  func(cfg *config.Settings, value any)
+}
+
+// Point is one permutation's outcome.
+type Point struct {
+	ID       string         // e.g. "CL=1_VC=4"
+	Values   map[string]any // variable name -> value
+	Summary  stats.Summary  // app 0 latency summary
+	Accepted float64        // delivered load over the sampling window
+	Err      error          // non-nil if the simulation failed
+}
+
+// Sweep is a configured sweep campaign.
+type Sweep struct {
+	base *config.Settings
+	vars []Variable
+	cpus int
+}
+
+// New creates a sweep over a base settings document. cpus bounds concurrent
+// simulations (resource management via taskrun).
+func New(base *config.Settings, cpus int) *Sweep {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &Sweep{base: base, cpus: cpus}
+}
+
+// AddVariable declares a sweep variable.
+func (s *Sweep) AddVariable(v Variable) {
+	if v.Name == "" || v.Short == "" || len(v.Values) == 0 || v.Apply == nil {
+		panic("sweep: variable needs a name, short name, values and an apply function")
+	}
+	s.vars = append(s.vars, v)
+}
+
+// Permutations returns the number of simulations the sweep will run.
+func (s *Sweep) Permutations() int {
+	n := 1
+	for _, v := range s.vars {
+		n *= len(v.Values)
+	}
+	return n
+}
+
+// Run executes every permutation and returns its points, sorted by id. The
+// returned error aggregates simulation failures; successful points are
+// returned either way.
+func (s *Sweep) Run() ([]Point, error) {
+	idx := make([]int, len(s.vars))
+	var points []Point
+	var mu sync.Mutex
+	runner := taskrun.NewRunner(map[string]int{"cpu": s.cpus})
+	for {
+		// Materialize this permutation.
+		values := map[string]any{}
+		var idParts []string
+		cfg := s.base.Clone()
+		for vi, v := range s.vars {
+			val := v.Values[idx[vi]]
+			values[v.Name] = val
+			idParts = append(idParts, fmt.Sprintf("%s=%v", v.Short, val))
+			v.Apply(cfg, val)
+		}
+		id := strings.Join(idParts, "_")
+		if id == "" {
+			id = "base"
+		}
+		runner.Task(id, func() error {
+			pt := Point{ID: id, Values: values}
+			defer func() {
+				mu.Lock()
+				points = append(points, pt)
+				mu.Unlock()
+			}()
+			sm, err := core.BuildE(cfg)
+			if err != nil {
+				pt.Err = err
+				return err
+			}
+			if _, err := sm.Run(); err != nil {
+				pt.Err = err
+				return err
+			}
+			sp, ok := sm.Workload.App(0).(stats.Provider)
+			if !ok {
+				pt.Err = fmt.Errorf("sweep: application 0 provides no statistics")
+				return pt.Err
+			}
+			rec := sp.Stats()
+			pt.Summary = rec.Summarize()
+			window := sm.Workload.PhaseTimes[workload.Finishing] -
+				sm.Workload.PhaseTimes[workload.Generating]
+			pt.Accepted = stats.Throughput(rec.Flits(), sm.Net.NumTerminals(),
+				window, sm.Net.ChannelPeriod())
+			return nil
+		}).Require("cpu", 1)
+
+		// Advance the mixed-radix counter.
+		carry := len(s.vars) - 1
+		for carry >= 0 {
+			idx[carry]++
+			if idx[carry] < len(s.vars[carry].Values) {
+				break
+			}
+			idx[carry] = 0
+			carry--
+		}
+		if carry < 0 || len(s.vars) == 0 {
+			break
+		}
+	}
+	err := runner.Run()
+	sort.Slice(points, func(i, j int) bool { return points[i].ID < points[j].ID })
+	return points, err
+}

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"supersim/internal/config"
+)
+
+const sweepBase = `{
+  "simulation": {"seed": 7},
+  "network": {
+    "topology": "torus",
+    "dimensions": [4],
+    "concentration": 1,
+    "channel": {"latency": 4, "period": 2},
+    "injection": {"latency": 2},
+    "router": {
+      "architecture": "input_queued",
+      "num_vcs": 2,
+      "input_buffer_depth": 8,
+      "crossbar_latency": 2
+    }
+  },
+  "workload": {
+    "applications": [{
+      "type": "blast",
+      "injection_rate": 0.2,
+      "message_size": 1,
+      "warmup_duration": 300,
+      "sample_duration": 1000,
+      "traffic": {"type": "uniform_random"}
+    }]
+  }
+}`
+
+func TestSweepCrossProduct(t *testing.T) {
+	s := New(config.MustParse(sweepBase), 2)
+	s.AddVariable(Variable{
+		Name: "ChannelLatency", Short: "CL", Values: []any{4, 8},
+		Apply: func(cfg *config.Settings, v any) {
+			cfg.Set("network.channel.latency", v.(int))
+		},
+	})
+	s.AddVariable(Variable{
+		Name: "InjectionRate", Short: "IR", Values: []any{0.1, 0.3},
+		Apply: func(cfg *config.Settings, v any) {
+			cfg.Set("workload.applications", []any{map[string]any{
+				"type": "blast", "injection_rate": v.(float64), "message_size": 1,
+				"warmup_duration": 300, "sample_duration": 1000,
+				"traffic": map[string]any{"type": "uniform_random"},
+			}})
+		},
+	})
+	if s.Permutations() != 4 {
+		t.Fatalf("Permutations = %d", s.Permutations())
+	}
+	points, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	ids := map[string]bool{}
+	for _, p := range points {
+		ids[p.ID] = true
+		if p.Err != nil {
+			t.Fatalf("point %s failed: %v", p.ID, p.Err)
+		}
+		if p.Summary.Count == 0 {
+			t.Fatalf("point %s has no samples", p.ID)
+		}
+		if p.Accepted <= 0 {
+			t.Fatalf("point %s accepted %v", p.ID, p.Accepted)
+		}
+	}
+	for _, want := range []string{"CL=4_IR=0.1", "CL=4_IR=0.3", "CL=8_IR=0.1", "CL=8_IR=0.3"} {
+		if !ids[want] {
+			t.Fatalf("missing permutation %s in %v", want, ids)
+		}
+	}
+}
+
+func TestSweepLatencyRisesWithChannelLatency(t *testing.T) {
+	s := New(config.MustParse(sweepBase), 1)
+	s.AddVariable(Variable{
+		Name: "ChannelLatency", Short: "CL", Values: []any{2, 20},
+		Apply: func(cfg *config.Settings, v any) {
+			cfg.Set("network.channel.latency", v.(int))
+		},
+	})
+	points, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64
+	for _, p := range points {
+		if p.Values["ChannelLatency"] == 2 {
+			lo = p.Summary.Mean
+		} else {
+			hi = p.Summary.Mean
+		}
+	}
+	if hi <= lo {
+		t.Fatalf("mean latency with 20-tick channels (%v) should exceed 2-tick (%v)", hi, lo)
+	}
+}
+
+func TestSweepNoVariables(t *testing.T) {
+	s := New(config.MustParse(sweepBase), 1)
+	points, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].ID != "base" {
+		t.Fatalf("points = %+v", points)
+	}
+}
+
+func TestSweepBuildFailureReported(t *testing.T) {
+	s := New(config.MustParse(sweepBase), 1)
+	s.AddVariable(Variable{
+		Name: "Arch", Short: "A", Values: []any{"input_queued", "bogus_arch"},
+		Apply: func(cfg *config.Settings, v any) {
+			cfg.Set("network.router.architecture", v.(string))
+		},
+	})
+	points, err := s.Run()
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	if !strings.Contains(err.Error(), "bogus_arch") {
+		t.Fatalf("error should name the bad architecture: %v", err)
+	}
+	good := 0
+	for _, p := range points {
+		if p.Err == nil {
+			good++
+		}
+	}
+	if good != 1 {
+		t.Fatalf("the valid permutation should still succeed (%d good)", good)
+	}
+}
+
+func TestSweepInvalidVariablePanics(t *testing.T) {
+	s := New(config.MustParse(sweepBase), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AddVariable(Variable{Name: "x"})
+}

@@ -1,0 +1,28 @@
+package taskrun_test
+
+import (
+	"fmt"
+
+	"supersim/internal/taskrun"
+)
+
+// The classic simulate -> parse -> analyze -> plot pipeline: independent
+// simulations run concurrently under a CPU cap, each post-processing step
+// waits for its inputs, and the plot waits for everything.
+func Example() {
+	r := taskrun.NewRunner(map[string]int{"cpu": 2})
+	var sims []*taskrun.Task
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("sim%d", i)
+		sims = append(sims, r.Task(name, func() error { return nil }).Require("cpu", 1))
+	}
+	analyze := r.Task("analyze", func() error { return nil }).After(sims...)
+	r.Task("plot", func() error {
+		fmt.Println("plotting after analysis")
+		return nil
+	}).After(analyze)
+	if err := r.Run(); err != nil {
+		fmt.Println("failed:", err)
+	}
+	// Output: plotting after analysis
+}

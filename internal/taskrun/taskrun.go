@@ -1,0 +1,262 @@
+// Package taskrun is a task scheduling and management engine: it runs tasks
+// with dependencies, conditional execution and resource management —
+// mirroring the TaskRun tool of the original ecosystem. A sweep of thousands
+// of simulations, parses, analyses and plots declares each step as a task
+// with its dependencies and resource demands, and the runner executes
+// everything in a correct order without resource conflicts.
+package taskrun
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// State describes a task's lifecycle.
+type State int
+
+// Task states.
+const (
+	Pending State = iota
+	Running
+	Succeeded
+	Failed   // action returned an error
+	Skipped  // condition returned false: treated as success (work not needed)
+	Canceled // a dependency failed or was canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Skipped:
+		return "skipped"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Task is one unit of work.
+type Task struct {
+	name      string
+	action    func() error
+	deps      []*Task
+	resources map[string]int
+	condition func() bool
+
+	state State
+	err   error
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// State returns the task's final state after Run.
+func (t *Task) State() State { return t.state }
+
+// Err returns the action's error, if the task failed.
+func (t *Task) Err() error { return t.err }
+
+// After declares dependencies: t runs only after all deps succeed (or are
+// condition-skipped). If any dependency fails, t is canceled.
+func (t *Task) After(deps ...*Task) *Task {
+	t.deps = append(t.deps, deps...)
+	return t
+}
+
+// Require declares a resource demand. The runner never lets concurrent
+// demands for a resource exceed its capacity.
+func (t *Task) Require(resource string, amount int) *Task {
+	if amount <= 0 {
+		panic("taskrun: resource amount must be positive")
+	}
+	t.resources[resource] = amount
+	return t
+}
+
+// OnlyIf attaches a conditional execution predicate, evaluated when the task
+// becomes ready. A false result skips the task's action — the usual caching
+// idiom ("output already exists") — and dependents still run.
+func (t *Task) OnlyIf(cond func() bool) *Task {
+	t.condition = cond
+	return t
+}
+
+// Runner owns a task set and its resource pool.
+type Runner struct {
+	capacity map[string]int
+	tasks    []*Task
+	byName   map[string]*Task
+}
+
+// NewRunner creates a runner with the given resource capacities, e.g.
+// {"cpu": 4, "mem_gb": 16}. Tasks demanding more of a resource than its
+// capacity are rejected at Add time.
+func NewRunner(capacity map[string]int) *Runner {
+	cp := make(map[string]int, len(capacity))
+	for k, v := range capacity {
+		if v <= 0 {
+			panic("taskrun: resource capacity must be positive")
+		}
+		cp[k] = v
+	}
+	return &Runner{capacity: cp, byName: map[string]*Task{}}
+}
+
+// Task registers a new task. Names must be unique.
+func (r *Runner) Task(name string, action func() error) *Task {
+	if action == nil {
+		panic("taskrun: task action required")
+	}
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("taskrun: duplicate task name %q", name))
+	}
+	t := &Task{name: name, action: action, resources: map[string]int{}}
+	r.tasks = append(r.tasks, t)
+	r.byName[name] = t
+	return t
+}
+
+// Tasks returns all registered tasks.
+func (r *Runner) Tasks() []*Task { return r.tasks }
+
+// Run executes the task graph: every task runs after its dependencies, the
+// resource pool is never oversubscribed, and independent tasks run
+// concurrently. It returns an error if any task failed, was skipped, or if
+// the graph has a dependency cycle.
+func (r *Runner) Run() error {
+	for _, t := range r.tasks {
+		for res, amt := range t.resources {
+			cap, ok := r.capacity[res]
+			if !ok {
+				return fmt.Errorf("taskrun: task %q requires unknown resource %q", t.name, res)
+			}
+			if amt > cap {
+				return fmt.Errorf("taskrun: task %q requires %d of %q, capacity is %d",
+					t.name, amt, res, cap)
+			}
+		}
+	}
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		available = map[string]int{}
+		running   = 0
+	)
+	for k, v := range r.capacity {
+		available[k] = v
+	}
+
+	depsDone := func(t *Task) (ready bool, cancel bool) {
+		for _, d := range t.deps {
+			switch d.state {
+			case Succeeded, Skipped:
+			case Failed, Canceled:
+				return false, true
+			default:
+				return false, false
+			}
+		}
+		return true, false
+	}
+	fits := func(t *Task) bool {
+		for res, amt := range t.resources {
+			if available[res] < amt {
+				return false
+			}
+		}
+		return true
+	}
+
+	mu.Lock()
+	for {
+		launched := false
+		pending := 0
+		for _, t := range r.tasks {
+			if t.state != Pending {
+				continue
+			}
+			pending++
+			ready, cancel := depsDone(t)
+			if cancel {
+				t.state = Canceled
+				pending--
+				launched = true // state changed; rescan
+				continue
+			}
+			if !ready || !fits(t) {
+				continue
+			}
+			if t.condition != nil && !t.condition() {
+				t.state = Skipped
+				pending--
+				launched = true
+				continue
+			}
+			for res, amt := range t.resources {
+				available[res] -= amt
+			}
+			t.state = Running
+			running++
+			launched = true
+			go func(t *Task) {
+				err := t.action()
+				mu.Lock()
+				if err != nil {
+					t.state = Failed
+					t.err = err
+				} else {
+					t.state = Succeeded
+				}
+				for res, amt := range t.resources {
+					available[res] += amt
+				}
+				running--
+				cond.Broadcast()
+				mu.Unlock()
+			}(t)
+		}
+		if pending == 0 && running == 0 {
+			break
+		}
+		if !launched {
+			if running == 0 {
+				// Nothing running and nothing launchable: dependency cycle.
+				mu.Unlock()
+				return fmt.Errorf("taskrun: dependency cycle among pending tasks %v", r.pendingNames())
+			}
+			cond.Wait()
+		}
+	}
+	mu.Unlock()
+
+	var errs []error
+	for _, t := range r.tasks {
+		switch t.state {
+		case Failed:
+			errs = append(errs, fmt.Errorf("task %q: %w", t.name, t.err))
+		case Canceled:
+			errs = append(errs, fmt.Errorf("task %q canceled by failed dependency", t.name))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (r *Runner) pendingNames() []string {
+	var out []string
+	for _, t := range r.tasks {
+		if t.state == Pending {
+			out = append(out, t.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

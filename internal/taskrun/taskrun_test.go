@@ -1,0 +1,282 @@
+package taskrun
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAllTasks(t *testing.T) {
+	r := NewRunner(map[string]int{"cpu": 2})
+	var count atomic.Int32
+	for i := 0; i < 10; i++ {
+		r.Task(strings.Repeat("x", i+1), func() error {
+			count.Add(1)
+			return nil
+		}).Require("cpu", 1)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 10 {
+		t.Fatalf("ran %d tasks", count.Load())
+	}
+	for _, task := range r.Tasks() {
+		if task.State() != Succeeded {
+			t.Fatalf("task %s state %v", task.Name(), task.State())
+		}
+	}
+}
+
+func TestDependencyOrder(t *testing.T) {
+	r := NewRunner(map[string]int{"cpu": 4})
+	var mu sync.Mutex
+	var order []string
+	rec := func(name string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}
+	}
+	sim := r.Task("sim", rec("sim"))
+	parse := r.Task("parse", rec("parse")).After(sim)
+	analyze := r.Task("analyze", rec("analyze")).After(parse)
+	r.Task("plot", rec("plot")).After(analyze)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sim", "parse", "analyze", "plot"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	r := NewRunner(nil)
+	var mu sync.Mutex
+	pos := map[string]int{}
+	n := 0
+	rec := func(name string) func() error {
+		return func() error {
+			mu.Lock()
+			pos[name] = n
+			n++
+			mu.Unlock()
+			return nil
+		}
+	}
+	a := r.Task("a", rec("a"))
+	b := r.Task("b", rec("b")).After(a)
+	c := r.Task("c", rec("c")).After(a)
+	r.Task("d", rec("d")).After(b, c)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pos["a"] != 0 || pos["d"] != 3 {
+		t.Fatalf("diamond order wrong: %v", pos)
+	}
+}
+
+func TestResourceLimitRespected(t *testing.T) {
+	r := NewRunner(map[string]int{"cpu": 2})
+	var cur, peak atomic.Int32
+	for i := 0; i < 8; i++ {
+		r.Task(string(rune('a'+i)), func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}).Require("cpu", 1)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("peak concurrency %d exceeds cpu capacity 2", peak.Load())
+	}
+}
+
+func TestHeavyTaskExcludesOthers(t *testing.T) {
+	r := NewRunner(map[string]int{"mem": 4})
+	var cur atomic.Int32
+	check := func(weight int32) func() error {
+		return func() error {
+			if cur.Add(weight) > 4 {
+				t.Error("memory oversubscribed")
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-weight)
+			return nil
+		}
+	}
+	r.Task("big", check(4)).Require("mem", 4)
+	r.Task("small1", check(2)).Require("mem", 2)
+	r.Task("small2", check(2)).Require("mem", 2)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureCancelsDependents(t *testing.T) {
+	r := NewRunner(nil)
+	boom := errors.New("boom")
+	a := r.Task("a", func() error { return boom })
+	ran := false
+	b := r.Task("b", func() error { ran = true; return nil }).After(a)
+	indep := r.Task("indep", func() error { return nil })
+	err := r.Run()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the cause", err)
+	}
+	if ran {
+		t.Fatal("dependent ran after failure")
+	}
+	if a.State() != Failed || b.State() != Canceled || indep.State() != Succeeded {
+		t.Fatalf("states: a=%v b=%v indep=%v", a.State(), b.State(), indep.State())
+	}
+	if !strings.Contains(err.Error(), `"b" canceled`) {
+		t.Fatalf("error should mention cancellation: %v", err)
+	}
+}
+
+func TestConditionalSkipIsSuccessLike(t *testing.T) {
+	r := NewRunner(nil)
+	a := r.Task("cached", func() error {
+		t.Error("skipped task ran")
+		return nil
+	}).OnlyIf(func() bool { return false })
+	ran := false
+	b := r.Task("dependent", func() error { ran = true; return nil }).After(a)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Skipped {
+		t.Fatalf("a state %v", a.State())
+	}
+	if !ran || b.State() != Succeeded {
+		t.Fatal("dependent of a skipped task must still run")
+	}
+}
+
+func TestConditionalRunWhenTrue(t *testing.T) {
+	r := NewRunner(nil)
+	ran := false
+	r.Task("t", func() error { ran = true; return nil }).OnlyIf(func() bool { return true })
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("condition true but task skipped")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	r := NewRunner(nil)
+	a := r.Task("a", func() error { return nil })
+	b := r.Task("b", func() error { return nil }).After(a)
+	a.After(b)
+	err := r.Run()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestUnknownResourceRejected(t *testing.T) {
+	r := NewRunner(map[string]int{"cpu": 1})
+	r.Task("t", func() error { return nil }).Require("gpu", 1)
+	if err := r.Run(); err == nil || !strings.Contains(err.Error(), "gpu") {
+		t.Fatalf("expected unknown resource error, got %v", err)
+	}
+}
+
+func TestOversizedDemandRejected(t *testing.T) {
+	r := NewRunner(map[string]int{"cpu": 1})
+	r.Task("t", func() error { return nil }).Require("cpu", 2)
+	if err := r.Run(); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRunner(nil)
+	r.Task("x", func() error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Task("x", func() error { return nil })
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRunner(map[string]int{"cpu": 0}) },
+		func() { NewRunner(nil).Task("x", nil) },
+		func() { NewRunner(nil).Task("x", func() error { return nil }).Require("cpu", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyRunner(t *testing.T) {
+	if err := NewRunner(nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeFanOutChain(t *testing.T) {
+	// 100 independent sims feeding one analysis feeding one plot.
+	r := NewRunner(map[string]int{"cpu": 3})
+	var done atomic.Int32
+	var sims []*Task
+	for i := 0; i < 100; i++ {
+		sims = append(sims, r.Task(
+			"sim"+string(rune('0'+i/10))+string(rune('0'+i%10)),
+			func() error { done.Add(1); return nil }).Require("cpu", 1))
+	}
+	analysis := r.Task("analysis", func() error {
+		if done.Load() != 100 {
+			t.Error("analysis before all sims")
+		}
+		return nil
+	}).After(sims...)
+	r.Task("plot", func() error { return nil }).After(analysis)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Pending: "pending", Running: "running", Succeeded: "succeeded",
+		Failed: "failed", Skipped: "skipped", Canceled: "canceled",
+		State(99): "state(99)",
+	} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package traffic implements the synthetic traffic patterns used by the
+// workload applications. A pattern maps a source terminal to a destination
+// terminal; stateless patterns draw from the simulation's deterministic rng.
+//
+// Patterns that are adversarial for specific topologies (tornado, cross
+// subtree) receive the relevant topology attributes through their own JSON
+// settings block, preserving the strict isolation between workload modeling
+// and network modeling.
+package traffic
+
+import (
+	"math/bits"
+	"math/rand/v2"
+
+	"supersim/internal/config"
+	"supersim/internal/factory"
+)
+
+// Pattern produces destination terminals.
+type Pattern interface {
+	// Dest returns a destination for the given source terminal; it must not
+	// return src itself.
+	Dest(rng *rand.Rand, src int) int
+}
+
+// Ctor is the constructor signature registered by pattern implementations.
+type Ctor func(cfg *config.Settings, numTerminals int) Pattern
+
+// Registry holds all traffic pattern implementations.
+var Registry = factory.NewRegistry[Ctor]("traffic pattern")
+
+// New builds the pattern named by cfg's "type" setting.
+func New(cfg *config.Settings, numTerminals int) Pattern {
+	if numTerminals < 2 {
+		panic("traffic: at least two terminals required")
+	}
+	return Registry.MustLookup(cfg.String("type"))(cfg, numTerminals)
+}
+
+func init() {
+	Registry.Register("uniform_random", func(cfg *config.Settings, n int) Pattern {
+		return UniformRandom{N: n}
+	})
+	Registry.Register("bit_complement", func(cfg *config.Settings, n int) Pattern {
+		if n&(n-1) != 0 {
+			panic("traffic: bit_complement requires a power-of-two terminal count")
+		}
+		return BitComplement{N: n}
+	})
+	Registry.Register("bit_reverse", func(cfg *config.Settings, n int) Pattern {
+		if n&(n-1) != 0 {
+			panic("traffic: bit_reverse requires a power-of-two terminal count")
+		}
+		return BitReverse{N: n}
+	})
+	Registry.Register("transpose", func(cfg *config.Settings, n int) Pattern {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			panic("traffic: transpose requires a square terminal count")
+		}
+		return Transpose{Side: side}
+	})
+	Registry.Register("neighbor", func(cfg *config.Settings, n int) Pattern {
+		return Neighbor{N: n}
+	})
+	Registry.Register("tornado", func(cfg *config.Settings, n int) Pattern {
+		widths := cfg.UIntList("widths")
+		conc := int(cfg.UIntOr("concentration", 1))
+		t := Tornado{Conc: conc}
+		total := conc
+		for _, w := range widths {
+			t.Widths = append(t.Widths, int(w))
+			total *= int(w)
+		}
+		if total != n {
+			panic("traffic: tornado widths/concentration do not match terminal count")
+		}
+		return t
+	})
+	Registry.Register("cross_subtree", func(cfg *config.Settings, n int) Pattern {
+		g := int(cfg.UInt("group_size"))
+		if g < 1 || n%g != 0 || n/g < 2 {
+			panic("traffic: cross_subtree group_size must evenly divide terminals into >= 2 groups")
+		}
+		return CrossSubtree{N: n, Group: g}
+	})
+	Registry.Register("hotspot", func(cfg *config.Settings, n int) Pattern {
+		frac := cfg.FloatOr("fraction", 0.1)
+		if frac <= 0 || frac > 1 {
+			panic("traffic: hotspot fraction must be in (0, 1]")
+		}
+		d := int(cfg.UInt("destination"))
+		if d < 0 || d >= n {
+			panic("traffic: hotspot destination out of range")
+		}
+		return Hotspot{Destination: d, Fraction: frac, N: n}
+	})
+	Registry.Register("fixed", func(cfg *config.Settings, n int) Pattern {
+		d := int(cfg.UInt("destination"))
+		if d < 0 || d >= n {
+			panic("traffic: fixed destination out of range")
+		}
+		return Fixed{Destination: d, N: n}
+	})
+}
+
+// UniformRandom sends to a uniformly random terminal other than the source —
+// the canonical load-balanced benign pattern.
+type UniformRandom struct{ N int }
+
+// Dest implements Pattern.
+func (p UniformRandom) Dest(rng *rand.Rand, src int) int {
+	d := rng.IntN(p.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// BitComplement sends to the bitwise complement of the source — an
+// unbalanced permutation that stresses bisection bandwidth.
+type BitComplement struct{ N int }
+
+// Dest implements Pattern.
+func (p BitComplement) Dest(rng *rand.Rand, src int) int {
+	return (p.N - 1) ^ src
+}
+
+// BitReverse sends to the bit-reversed source address.
+type BitReverse struct{ N int }
+
+// Dest implements Pattern.
+func (p BitReverse) Dest(rng *rand.Rand, src int) int {
+	w := bits.Len(uint(p.N - 1))
+	d := int(bits.Reverse(uint(src)) >> (bits.UintSize - w))
+	if d == src {
+		return (src + p.N/2) % p.N // palindromic addresses fall back to the antipode
+	}
+	return d
+}
+
+// Transpose treats terminals as a square matrix and sends (i, j) -> (j, i).
+type Transpose struct{ Side int }
+
+// Dest implements Pattern.
+func (p Transpose) Dest(rng *rand.Rand, src int) int {
+	i, j := src/p.Side, src%p.Side
+	d := j*p.Side + i
+	if d == src {
+		return (src + 1) % (p.Side * p.Side) // diagonal falls back to the neighbor
+	}
+	return d
+}
+
+// Neighbor sends to the next terminal (src + 1), the friendliest pattern.
+type Neighbor struct{ N int }
+
+// Dest implements Pattern.
+func (p Neighbor) Dest(rng *rand.Rand, src int) int {
+	return (src + 1) % p.N
+}
+
+// Tornado sends ceil(k/2)-1 hops around each dimension's ring — the
+// adversarial pattern for a torus, which the user parameterizes with the
+// torus's own widths and concentration.
+type Tornado struct {
+	Widths []int
+	Conc   int
+}
+
+// Dest implements Pattern.
+func (p Tornado) Dest(rng *rand.Rand, src int) int {
+	srcR := src / p.Conc
+	dstR := 0
+	stride := 1
+	for _, w := range p.Widths {
+		c := (srcR / stride) % w
+		off := (w+1)/2 - 1
+		if off == 0 {
+			off = 1 // width-2 rings still move
+		}
+		nc := (c + off) % w
+		dstR += nc * stride
+		stride *= w
+	}
+	d := dstR*p.Conc + src%p.Conc
+	if d == src {
+		return (src + p.Conc) % (stride * p.Conc)
+	}
+	return d
+}
+
+// CrossSubtree sends to a uniformly random terminal in a different group of
+// `Group` consecutive terminals. With Group = terminals/k it forces all
+// folded-Clos traffic through the root level ("uniform random to root").
+type CrossSubtree struct {
+	N     int
+	Group int
+}
+
+// Dest implements Pattern.
+func (p CrossSubtree) Dest(rng *rand.Rand, src int) int {
+	g := src / p.Group
+	numGroups := p.N / p.Group
+	dg := rng.IntN(numGroups - 1)
+	if dg >= g {
+		dg++
+	}
+	return dg*p.Group + rng.IntN(p.Group)
+}
+
+// Hotspot sends Fraction of the traffic to one hot destination and the rest
+// uniformly at random — the classic partial-hotspot stressor.
+type Hotspot struct {
+	Destination int
+	Fraction    float64
+	N           int
+}
+
+// Dest implements Pattern.
+func (p Hotspot) Dest(rng *rand.Rand, src int) int {
+	if src != p.Destination && rng.Float64() < p.Fraction {
+		return p.Destination
+	}
+	d := rng.IntN(p.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Fixed sends all traffic to one destination (parking lot workloads).
+// Sources equal to the destination wrap to the next terminal.
+type Fixed struct {
+	Destination int
+	N           int
+}
+
+// Dest implements Pattern.
+func (p Fixed) Dest(rng *rand.Rand, src int) int {
+	if src == p.Destination {
+		return (p.Destination + 1) % p.N
+	}
+	return p.Destination
+}

@@ -1,0 +1,204 @@
+package traffic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"supersim/internal/config"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewPCG(11, 17)) }
+
+func TestUniformRandomCoversAllDestinations(t *testing.T) {
+	p := New(config.MustParse(`{"type": "uniform_random"}`), 8)
+	r := rng()
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := p.Dest(r, 3)
+		if d == 3 || d < 0 || d >= 8 {
+			t.Fatalf("bad destination %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("covered %d destinations, want 7", len(seen))
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p := New(config.MustParse(`{"type": "bit_complement"}`), 16)
+	cases := map[int]int{0: 15, 5: 10, 15: 0, 8: 7}
+	for src, want := range cases {
+		if got := p.Dest(rng(), src); got != want {
+			t.Errorf("Dest(%d) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestBitComplementRequiresPowerOfTwo(t *testing.T) {
+	mustPanic(t, func() { New(config.MustParse(`{"type": "bit_complement"}`), 12) })
+}
+
+func TestBitReverse(t *testing.T) {
+	p := New(config.MustParse(`{"type": "bit_reverse"}`), 8)
+	// 3 bits: 1 (001) -> 4 (100); 3 (011) -> 6 (110)
+	if got := p.Dest(rng(), 1); got != 4 {
+		t.Fatalf("Dest(1) = %d", got)
+	}
+	if got := p.Dest(rng(), 3); got != 6 {
+		t.Fatalf("Dest(3) = %d", got)
+	}
+	// palindrome 0 must not map to itself
+	if got := p.Dest(rng(), 0); got == 0 {
+		t.Fatal("palindrome mapped to itself")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := New(config.MustParse(`{"type": "transpose"}`), 16)
+	// 4x4: (1,2)=6 -> (2,1)=9
+	if got := p.Dest(rng(), 6); got != 9 {
+		t.Fatalf("Dest(6) = %d", got)
+	}
+	// diagonal falls back to a different terminal
+	if got := p.Dest(rng(), 5); got == 5 {
+		t.Fatal("diagonal mapped to itself")
+	}
+	mustPanic(t, func() { New(config.MustParse(`{"type": "transpose"}`), 15) })
+}
+
+func TestNeighbor(t *testing.T) {
+	p := New(config.MustParse(`{"type": "neighbor"}`), 4)
+	if p.Dest(rng(), 0) != 1 || p.Dest(rng(), 3) != 0 {
+		t.Fatal("neighbor wrong")
+	}
+}
+
+func TestTornado(t *testing.T) {
+	cfg := config.MustParse(`{"type": "tornado", "widths": [8], "concentration": 1}`)
+	p := New(cfg, 8)
+	// 1D width 8: offset ceil(8/2)-1 = 3
+	if got := p.Dest(rng(), 0); got != 3 {
+		t.Fatalf("Dest(0) = %d, want 3", got)
+	}
+	if got := p.Dest(rng(), 6); got != 1 {
+		t.Fatalf("Dest(6) = %d, want 1 (wrap)", got)
+	}
+}
+
+func TestTornadoMultiDimWithConcentration(t *testing.T) {
+	cfg := config.MustParse(`{"type": "tornado", "widths": [4, 4], "concentration": 2}`)
+	p := New(cfg, 32)
+	// router (0,0), offset 1 per dim -> router (1,1) = id 5; terminal keeps slot.
+	if got := p.Dest(rng(), 1); got != 5*2+1 {
+		t.Fatalf("Dest(1) = %d, want 11", got)
+	}
+	mustPanic(t, func() {
+		New(config.MustParse(`{"type": "tornado", "widths": [4], "concentration": 1}`), 32)
+	})
+}
+
+func TestCrossSubtree(t *testing.T) {
+	cfg := config.MustParse(`{"type": "cross_subtree", "group_size": 4}`)
+	p := New(cfg, 16)
+	r := rng()
+	for i := 0; i < 500; i++ {
+		src := r.IntN(16)
+		d := p.Dest(r, src)
+		if d/4 == src/4 {
+			t.Fatalf("destination %d in source group of %d", d, src)
+		}
+	}
+	mustPanic(t, func() {
+		New(config.MustParse(`{"type": "cross_subtree", "group_size": 16}`), 16)
+	})
+	mustPanic(t, func() {
+		New(config.MustParse(`{"type": "cross_subtree", "group_size": 3}`), 16)
+	})
+}
+
+func TestFixed(t *testing.T) {
+	p := New(config.MustParse(`{"type": "fixed", "destination": 2}`), 4)
+	if p.Dest(rng(), 0) != 2 || p.Dest(rng(), 3) != 2 {
+		t.Fatal("fixed destination wrong")
+	}
+	if p.Dest(rng(), 2) == 2 {
+		t.Fatal("fixed pattern sent to itself")
+	}
+	mustPanic(t, func() { New(config.MustParse(`{"type": "fixed", "destination": 9}`), 4) })
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic(t, func() { New(config.MustParse(`{"type": "uniform_random"}`), 1) })
+	mustPanic(t, func() { New(config.MustParse(`{"type": "bogus"}`), 8) })
+}
+
+// Property: every registered pattern returns a valid destination != src for
+// every source, on a compatible terminal count.
+func TestAllPatternsValidDestinations(t *testing.T) {
+	n := 16
+	patterns := map[string]Pattern{
+		"uniform_random": New(config.MustParse(`{"type": "uniform_random"}`), n),
+		"bit_complement": New(config.MustParse(`{"type": "bit_complement"}`), n),
+		"bit_reverse":    New(config.MustParse(`{"type": "bit_reverse"}`), n),
+		"transpose":      New(config.MustParse(`{"type": "transpose"}`), n),
+		"neighbor":       New(config.MustParse(`{"type": "neighbor"}`), n),
+		"tornado":        New(config.MustParse(`{"type": "tornado", "widths": [4, 4], "concentration": 1}`), n),
+		"cross_subtree":  New(config.MustParse(`{"type": "cross_subtree", "group_size": 4}`), n),
+		"fixed":          New(config.MustParse(`{"type": "fixed", "destination": 0}`), n),
+	}
+	r := rng()
+	prop := func(src8 uint8) bool {
+		src := int(src8) % n
+		for name, p := range patterns {
+			d := p.Dest(r, src)
+			if d < 0 || d >= n || d == src {
+				t.Logf("%s: Dest(%d) = %d", name, src, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestHotspot(t *testing.T) {
+	cfg := config.MustParse(`{"type": "hotspot", "destination": 3, "fraction": 0.5}`)
+	p := New(cfg, 16)
+	r := rng()
+	hot := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		d := p.Dest(r, 7)
+		if d == 7 || d < 0 || d >= 16 {
+			t.Fatalf("bad destination %d", d)
+		}
+		if d == 3 {
+			hot++
+		}
+	}
+	// ~50% + uniform share; accept a generous band around 53%.
+	frac := float64(hot) / trials
+	if frac < 0.45 || frac < 0.5*0.9 || frac > 0.62 {
+		t.Fatalf("hotspot fraction %v", frac)
+	}
+	// the hot node itself sends uniformly
+	if d := p.Dest(r, 3); d == 3 {
+		t.Fatal("hot node sent to itself")
+	}
+	mustPanic(t, func() { New(config.MustParse(`{"type": "hotspot", "destination": 99}`), 16) })
+	mustPanic(t, func() { New(config.MustParse(`{"type": "hotspot", "destination": 0, "fraction": 0}`), 16) })
+}

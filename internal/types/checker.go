@@ -1,0 +1,46 @@
+package types
+
+import "fmt"
+
+// OrderChecker implements the framework's delivery error detection: every
+// flit delivered to a destination is verified to have arrived at the right
+// destination and in the right order with respect to the other flits of its
+// packet. Terminals run one checker each; a violation panics, catching buggy
+// component models early.
+type OrderChecker struct {
+	terminal int
+	expected map[*Packet]int
+}
+
+// NewOrderChecker creates a checker for the given terminal ID.
+func NewOrderChecker(terminal int) *OrderChecker {
+	return &OrderChecker{terminal: terminal, expected: map[*Packet]int{}}
+}
+
+// Check validates one delivered flit. It panics on a wrong destination, an
+// out-of-order flit, or a duplicate delivery; it returns true when the flit
+// is its packet's last (the packet completed in order).
+func (c *OrderChecker) Check(f *Flit) bool {
+	p := f.Pkt
+	if p.Msg.Dst != c.terminal {
+		panic(fmt.Sprintf("types: %v delivered to terminal %d, want destination %d",
+			f, c.terminal, p.Msg.Dst))
+	}
+	want := c.expected[p]
+	if f.ID != want {
+		panic(fmt.Sprintf("types: %v out of order at terminal %d: got flit %d, want %d",
+			f, c.terminal, f.ID, want))
+	}
+	if f.ID == len(p.Flits)-1 {
+		if !f.Tail {
+			panic(fmt.Sprintf("types: %v is last flit but not marked tail", f))
+		}
+		delete(c.expected, p)
+		return true
+	}
+	c.expected[p] = want + 1
+	return false
+}
+
+// Outstanding returns the number of packets with partial deliveries.
+func (c *OrderChecker) Outstanding() int { return len(c.expected) }

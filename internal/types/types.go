@@ -1,0 +1,164 @@
+// Package types defines the units of network traffic — messages, packets,
+// flits and credits — and the sink interfaces over which components exchange
+// them.
+//
+// A message is the unit of transfer requested by an application. The network
+// interface segments each message into one or more packets, and each packet
+// into flits. A flit (flow control digit) is the smallest unit of resource
+// allocation in a router: routers manage buffering, data flow and resource
+// scheduling at flit granularity, which is why flit-level simulation is
+// required to understand router microarchitecture behavior.
+package types
+
+import (
+	"fmt"
+
+	"supersim/internal/sim"
+)
+
+// Message is an application-level unit of transfer between two terminals.
+type Message struct {
+	ID          uint64 // globally unique
+	App         int    // application index within the workload
+	Transaction uint64 // transaction grouping tag
+	Src, Dst    int    // terminal IDs
+
+	Packets []*Packet
+
+	CreateTime  sim.Tick // when the application created the message
+	InjectTime  sim.Tick // when the first flit entered the network
+	ReceiveTime sim.Tick // when the last flit was delivered
+
+	Sampled bool // flagged for statistics sampling
+	OpCode  int  // application-specific operation code
+}
+
+// NewMessage creates a message of totalFlits flits segmented into packets of
+// at most maxPacketSize flits each. totalFlits and maxPacketSize must be
+// positive.
+func NewMessage(id uint64, app, src, dst int, totalFlits, maxPacketSize int) *Message {
+	if totalFlits <= 0 {
+		panic(fmt.Sprintf("types: message %d: totalFlits %d must be positive", id, totalFlits))
+	}
+	if maxPacketSize <= 0 {
+		panic(fmt.Sprintf("types: message %d: maxPacketSize %d must be positive", id, maxPacketSize))
+	}
+	m := &Message{ID: id, App: app, Src: src, Dst: dst}
+	numPackets := (totalFlits + maxPacketSize - 1) / maxPacketSize
+	m.Packets = make([]*Packet, numPackets)
+	remaining := totalFlits
+	for p := 0; p < numPackets; p++ {
+		size := maxPacketSize
+		if remaining < size {
+			size = remaining
+		}
+		remaining -= size
+		pkt := &Packet{Msg: m, ID: p, Intermediate: -1}
+		pkt.Flits = make([]*Flit, size)
+		for f := 0; f < size; f++ {
+			pkt.Flits[f] = &Flit{
+				Pkt:  pkt,
+				ID:   f,
+				Head: f == 0,
+				Tail: f == size-1,
+				VC:   -1,
+			}
+		}
+		m.Packets[p] = pkt
+	}
+	return m
+}
+
+// TotalFlits returns the number of flits across all packets of the message.
+func (m *Message) TotalFlits() int {
+	n := 0
+	for _, p := range m.Packets {
+		n += len(p.Flits)
+	}
+	return n
+}
+
+// Packet is the unit of routing: all flits of a packet follow the head flit's
+// path. Packets carry the mutable routing state used by adaptive algorithms.
+type Packet struct {
+	Msg   *Message
+	ID    int // index within the message
+	Flits []*Flit
+
+	HopCount     int  // router-to-router hops taken so far
+	NonMinimal   bool // took a non-minimal route (Valiant/UGAL deroute)
+	Intermediate int  // intermediate destination for non-minimal routing, -1 if none
+
+	InjectTime  sim.Tick // head flit network entry
+	ReceiveTime sim.Tick // tail flit delivery
+
+	// RoutingState is scratch storage owned by the routing algorithm (e.g.
+	// dateline crossing flags, UGAL phase). Routers never interpret it.
+	RoutingState any
+}
+
+// Size returns the number of flits in the packet.
+func (p *Packet) Size() int { return len(p.Flits) }
+
+// Head returns the packet's head flit.
+func (p *Packet) Head() *Flit { return p.Flits[0] }
+
+// Tail returns the packet's tail flit.
+func (p *Packet) Tail() *Flit { return p.Flits[len(p.Flits)-1] }
+
+// Age returns the message creation time, used by age-based arbitration: the
+// oldest packet (smallest value) has priority.
+func (p *Packet) Age() sim.Tick { return p.Msg.CreateTime }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("packet[msg=%d pkt=%d src=%d dst=%d size=%d]",
+		p.Msg.ID, p.ID, p.Msg.Src, p.Msg.Dst, len(p.Flits))
+}
+
+// Flit is the unit of buffering and flow control. The head flit carries the
+// routing responsibility; the tail flit releases held resources.
+type Flit struct {
+	Pkt  *Packet
+	ID   int // index within the packet
+	Head bool
+	Tail bool
+
+	// VC is the virtual channel the flit currently occupies. It is rewritten
+	// at each hop by the winning routing/VC-allocation decision.
+	VC int
+
+	SendTime    sim.Tick // last channel injection time
+	ReceiveTime sim.Tick // last channel delivery time
+}
+
+func (f *Flit) String() string {
+	kind := "body"
+	if f.Head && f.Tail {
+		kind = "head+tail"
+	} else if f.Head {
+		kind = "head"
+	} else if f.Tail {
+		kind = "tail"
+	}
+	return fmt.Sprintf("flit[msg=%d pkt=%d id=%d %s vc=%d]",
+		f.Pkt.Msg.ID, f.Pkt.ID, f.ID, kind, f.VC)
+}
+
+// Credit is the unit of credit-based flow control: one credit returns one
+// flit slot in the upstream direction for a specific VC.
+type Credit struct {
+	VC int
+}
+
+// FlitSink receives flits. Routers and interfaces implement it for their
+// input ports; channels deliver into it.
+type FlitSink interface {
+	// ReceiveFlit accepts a flit arriving on the given local port number.
+	ReceiveFlit(port int, f *Flit)
+}
+
+// CreditSink receives credits flowing in the reverse direction of flits.
+type CreditSink interface {
+	// ReceiveCredit accepts a credit arriving for the given local port.
+	ReceiveCredit(port int, c Credit)
+}
