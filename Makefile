@@ -1,0 +1,37 @@
+# SuperSim build/test/benchmark entry points.
+#
+#   make ci      - everything a merge must pass: build, vet, tests, and the
+#                  race detector on the two concurrent packages
+#   make bench   - the paper's table/figure benchmark suite with -benchmem
+#   make micro   - the standalone hot-structure micro-benchmarks
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench micro
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# internal/taskrun and internal/sweep run simulations on worker goroutines;
+# they are the only packages with cross-goroutine traffic, so they get the
+# race detector (everything else is single-threaded by design).
+race:
+	$(GO) test -race ./internal/taskrun ./internal/sweep
+
+ci: build vet test race
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+
+micro:
+	$(GO) test -run='^$$' -bench='BenchmarkNewMessage|BenchmarkPoolNewMessage' -benchmem ./internal/types
+	$(GO) test -run='^$$' -bench='BenchmarkEventHeapPushPop|BenchmarkHeapChurn' -benchmem ./internal/sim
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/arbiter ./internal/stats

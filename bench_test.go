@@ -6,6 +6,11 @@
 //	go test -bench=. -benchmem                 # reduced-scale suite
 //	SUPERSIM_FULL=1 go test -bench=Figure9b    # paper-scale (hours)
 //
+// Profiling: the standard go test flags produce pprof profiles of any
+// benchmark (go test -bench=Figure5 -cpuprofile=cpu.out -memprofile=mem.out),
+// and SUPERSIM_MONITOR=N attaches a sim.ProgressMonitor to every simulation,
+// printing an events/sec + heap line to stderr every N executed events.
+//
 // See EXPERIMENTS.md for the recorded outputs and paper-vs-measured notes.
 package supersim_test
 
@@ -13,6 +18,7 @@ import (
 	"io"
 	"os"
 	"runtime/debug"
+	"strconv"
 	"testing"
 
 	"fmt"
@@ -32,10 +38,12 @@ func opts(b *testing.B) experiments.Options {
 	if testing.Verbose() {
 		out = os.Stderr
 	}
+	monitor, _ := strconv.ParseUint(os.Getenv("SUPERSIM_MONITOR"), 10, 64)
 	return experiments.Options{
-		Full: os.Getenv("SUPERSIM_FULL") == "1",
-		Seed: 1,
-		Out:  out,
+		Full:         os.Getenv("SUPERSIM_FULL") == "1",
+		Seed:         1,
+		Out:          out,
+		MonitorEvery: monitor,
 	}
 }
 

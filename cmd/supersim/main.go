@@ -13,15 +13,23 @@
 // The simulation's sampled transactions can be written to a log with
 // -log <file> for analysis with the ssparse tool, and a summary of each
 // application's latency statistics is printed on completion.
+//
+// Performance work is measured, not guessed: -cpuprofile and -memprofile
+// write standard pprof profiles of the run, and -monitor N prints an
+// events/sec + heap usage progress line to stderr every N executed events
+// (also exported through the supersim.* expvar gauges).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"supersim/internal/config"
 	"supersim/internal/core"
+	"supersim/internal/sim"
 	"supersim/internal/ssparse"
 	"supersim/internal/stats"
 )
@@ -29,18 +37,50 @@ import (
 func main() {
 	logPath := flag.String("log", "", "write sampled transactions to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	monitor := flag.Uint64("monitor", 0, "report events/sec and heap every N executed events (0 disables)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: supersim <config.json> [path=type=value ...]")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *logPath, *quiet); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supersim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "supersim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(flag.Arg(0), flag.Args()[1:], *logPath, *quiet, *monitor)
+	if *memProfile != "" {
+		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "supersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgPath string, overrides []string, logPath string, quiet bool) error {
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle live objects so the heap profile reflects retention
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
+
+func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor uint64) error {
 	cfg, err := config.LoadFile(cfgPath)
 	if err != nil {
 		return err
@@ -52,6 +92,9 @@ func run(cfgPath string, overrides []string, logPath string, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	if monitor > 0 {
+		(&sim.ProgressMonitor{Out: os.Stderr}).Attach(sm.Sim, monitor)
+	}
 	if !quiet {
 		fmt.Printf("built %d routers, %d terminals, %d channels\n",
 			sm.Net.NumRouters(), sm.Net.NumTerminals(), len(sm.Net.Channels()))
@@ -62,6 +105,11 @@ func run(cfgPath string, overrides []string, logPath string, quiet bool) error {
 	}
 	if !quiet {
 		fmt.Printf("simulation complete: %d events, %d ticks\n", res.Events, res.EndTick)
+		ps := sm.Workload.Pool().Stats()
+		if ps.Gets > 0 {
+			fmt.Printf("message pool: %d gets, %d recycled (%.1f%%), %d released\n",
+				ps.Gets, ps.Hits, 100*float64(ps.Hits)/float64(ps.Gets), ps.Releases)
+		}
 	}
 	var logFile *os.File
 	if logPath != "" {

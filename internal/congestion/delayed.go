@@ -87,6 +87,9 @@ func (d *DelayedValue) prune(now sim.Tick) {
 		}
 	}
 	if cut > 0 {
-		d.hist = d.hist[cut:]
+		// Compact in place rather than re-slicing from the front: slicing
+		// would shed the dropped capacity and force the next append to
+		// reallocate, which made Set the simulator's hottest allocation site.
+		d.hist = d.hist[:copy(d.hist, d.hist[cut:])]
 	}
 }

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"supersim/internal/config"
 	"supersim/internal/network"
@@ -45,6 +46,13 @@ type Simulation struct {
 func Build(cfg *config.Settings) *Simulation {
 	seed := cfg.UIntOr("simulation.seed", 1)
 	s := sim.NewSimulator(seed)
+	// Opt-in progress reporting: "simulation": {"monitor_interval": N} emits
+	// an events/sec + heap line to stderr (and the supersim.* expvar gauges)
+	// every N executed events. Reporting is observation-only and cannot
+	// perturb determinism.
+	if mi := cfg.UIntOr("simulation.monitor_interval", 0); mi > 0 {
+		(&sim.ProgressMonitor{Out: os.Stderr}).Attach(s, mi)
+	}
 	net := network.New(s, cfg.Sub("network"))
 	w := workload.New(s, cfg.Sub("workload"), net)
 	return &Simulation{Sim: s, Net: net, Workload: w}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/stats"
+	"supersim/internal/types"
+	"supersim/internal/workload/apps"
+)
+
+// closDoc is a small folded-Clos Blast run used for determinism checks.
+const closDoc = `{
+  "simulation": {"seed": 11},
+  "network": {
+    "topology": "folded_clos", "half_radix": 2, "levels": 2,
+    "channel": {"latency": 10, "period": 1},
+    "injection": {"latency": 1},
+    "router": {
+      "architecture": "output_queued", "num_vcs": 1,
+      "input_buffer_depth": 32, "queue_latency": 5
+    }
+  },
+  "workload": {"applications": [{
+    "type": "blast", "injection_rate": 0.4, "message_size": 4,
+    "max_packet_size": 2,
+    "warmup_duration": 300, "sample_duration": 2000,
+    "traffic": {"type": "uniform_random"}
+  }]}
+}`
+
+// TestPoolingDeterminism is the guardrail that message pooling never changes
+// simulation results: the same configuration and seed must produce identical
+// executed-event counts and latency statistics whether messages come from a
+// cold-started pool (the first messages are freshly allocated, recycling
+// begins as messages retire mid-run) or a pre-warmed pool (every NewMessage
+// recycles a retired block from the previous run). A behavioral difference
+// here means a reset/reuse bug — some mutable field surviving recycling.
+func TestPoolingDeterminism(t *testing.T) {
+	run := func(pool *types.Pool) (uint64, stats.Summary) {
+		sm := Build(config.MustParse(closDoc))
+		if pool != nil {
+			sm.Workload.SetPool(pool)
+		}
+		if _, err := sm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sm.Sim.Executed(), sm.Workload.App(0).(*apps.Blast).Stats().Summarize()
+	}
+
+	pool := types.NewPool()
+	coldEvents, coldSum := run(pool) // cold start: the first messages allocate
+	coldStats := pool.Stats()
+	if coldStats.Hits >= coldStats.Gets {
+		t.Fatalf("cold run allocated nothing (%d gets, %d hits); pool did not start empty",
+			coldStats.Gets, coldStats.Hits)
+	}
+	warmEvents, warmSum := run(pool) // second run: the pool is primed
+	st := pool.Stats()
+	if warmHits, warmGets := st.Hits-coldStats.Hits, st.Gets-coldStats.Gets; warmHits != warmGets {
+		t.Fatalf("warm run allocated %d messages, want 0 (pool was primed)", warmGets-warmHits)
+	}
+	if st.Releases != st.Gets {
+		t.Fatalf("pool leak: %d gets vs %d releases", st.Gets, st.Releases)
+	}
+
+	if coldEvents != warmEvents {
+		t.Errorf("executed events diverged: cold %d, warm %d", coldEvents, warmEvents)
+	}
+	if coldSum != warmSum {
+		t.Errorf("latency summary diverged:\ncold %+v\nwarm %+v", coldSum, warmSum)
+	}
+
+	// A fresh default-pool run must agree too (pooled vs pooled-from-scratch).
+	freshEvents, freshSum := run(nil)
+	if freshEvents != coldEvents || freshSum != coldSum {
+		t.Errorf("fresh-pool run diverged: %d events %+v, want %d events %+v",
+			freshEvents, freshSum, coldEvents, coldSum)
+	}
+}
+
+// TestUnpooledMessagesPassThrough verifies the retirement point tolerates
+// messages that did not come from the workload's pool: Release must be a
+// no-op for them (tests and external tools inject unpooled messages).
+func TestUnpooledReleaseNoOp(t *testing.T) {
+	p := types.NewPool()
+	m := types.NewMessage(1, 0, 0, 1, 4, 2)
+	p.Release(m) // foreign message: ignored
+	if st := p.Stats(); st.Releases != 0 {
+		t.Fatalf("foreign release recorded: %+v", st)
+	}
+}

@@ -81,7 +81,7 @@ func Figure11(opts Options) []Fig11Point {
 	for _, vcs := range vcsSet {
 		for _, msg := range msgs {
 			for _, fc := range FlowControls {
-				res := runBlast(torusConfig(width, vcs, msg, fc, 1.0, opts.seed(), sample))
+				res := runBlast(opts.prep(torusConfig(width, vcs, msg, fc, 1.0, opts.seed(), sample)))
 				p := Fig11Point{FlowControl: fc, VCs: vcs, MsgSize: msg, Throughput: res.accepted}
 				out = append(out, p)
 				opts.logf("  vcs=%d msg=%2d %-16s throughput=%.3f\n", vcs, msg, fc, p.Throughput)

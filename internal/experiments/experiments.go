@@ -27,6 +27,12 @@ type Options struct {
 	Full bool      // paper-scale parameters instead of reduced
 	Seed uint64    // base PRNG seed
 	Out  io.Writer // progress/table output; nil silences
+
+	// MonitorEvery, when positive, attaches a sim.ProgressMonitor to every
+	// simulation the experiment runs, reporting events/sec and heap usage to
+	// stderr every MonitorEvery executed events. The bench harness wires
+	// SUPERSIM_MONITOR to this.
+	MonitorEvery uint64
 }
 
 func (o Options) seed() uint64 {
@@ -34,6 +40,14 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// prep applies option-driven simulation settings to an experiment config.
+func (o Options) prep(cfg *config.Settings) *config.Settings {
+	if o.MonitorEvery > 0 {
+		cfg.Set("simulation.monitor_interval", o.MonitorEvery)
+	}
+	return cfg
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -130,7 +144,7 @@ func (r runResult) point(offered float64) LoadPoint {
 func sweepLoads(label string, loads []float64, opts Options, mkCfg func(load float64) *config.Settings) Curve {
 	c := Curve{Label: label}
 	for _, load := range loads {
-		res := runBlast(mkCfg(load))
+		res := runBlast(opts.prep(mkCfg(load)))
 		p := res.point(load)
 		c.Points = append(c.Points, p)
 		opts.logf("  %-32s load=%.2f accepted=%.3f mean=%.0f p99=%.0f%s\n",

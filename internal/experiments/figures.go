@@ -48,7 +48,7 @@ func Figure5(opts Options) Figure5Result {
 	})
 	cfg.Set("workload.applications", appsArr)
 
-	sm := core.Build(cfg)
+	sm := core.Build(opts.prep(cfg))
 	if _, err := sm.Run(); err != nil {
 		panic(err)
 	}
@@ -112,8 +112,8 @@ func Figure7(opts Options) [][2]float64 {
 		routers, conc = 32, 32
 		sample = 12000
 	}
-	res := runBlast(fbConfig(routers, conc, AccountingStyle{"port", "both"},
-		"uniform_random", 0.5, opts.seed(), sample))
+	res := runBlast(opts.prep(fbConfig(routers, conc, AccountingStyle{"port", "both"},
+		"uniform_random", 0.5, opts.seed(), sample)))
 	curve := res.rec.PercentileCurve(PercentilePoints)
 	opts.logf("Figure 7: %d samples, p50=%.0f p99.9=%.0f\n",
 		res.rec.Count(), res.rec.Percentile(50), res.rec.Percentile(99.9))

@@ -39,15 +39,20 @@ type Interface struct {
 	credInit  int                    // initial per-VC credit count
 	policy    InjectionPolicy
 
-	sendQ     []*types.Packet // FIFO of packets awaiting injection
-	curFlit   int             // next flit index of the head packet
-	curVC     int             // VC the head packet is locked to, -1 before head
-	injectRR  int             // rotation for VC choice ties
+	// sendQ[sendHead:] is the FIFO of packets awaiting injection. Dequeuing
+	// advances sendHead instead of re-slicing so the buffer's capacity is
+	// reused across the run (the injection path must not allocate per packet);
+	// the consumed prefix is compacted away once it dominates the buffer.
+	sendQ     []*types.Packet
+	sendHead  int
+	curFlit   int // next flit index of the head packet
+	curVC     int // VC the head packet is locked to, -1 before head
+	injectRR  int // rotation for VC choice ties
 	scheduled bool
 
-	checker   *types.OrderChecker
-	sink      MessageSink
-	remaining map[*types.Message]int // undelivered flits per message
+	checker *types.OrderChecker
+	sink    MessageSink
+	partial int // messages with some but not all flits delivered
 
 	// statistics
 	flitsSent, flitsReceived uint64
@@ -71,7 +76,6 @@ func New(s *sim.Simulator, name string, id int, cfg *config.Settings, vcs int, c
 		policy:        policy,
 		curVC:         -1,
 		checker:       types.NewOrderChecker(id),
-		remaining:     map[*types.Message]int{},
 	}
 }
 
@@ -104,8 +108,8 @@ func (n *Interface) SetDownstreamCredits(perVC int) {
 // injection, all router input buffer credits returned, and no partially
 // received messages. The framework calls it after the network drains.
 func (n *Interface) VerifyIdle() {
-	if len(n.sendQ) != 0 {
-		n.Panicf("idle check: %d packets still queued for injection", len(n.sendQ))
+	if n.QueueDepth() != 0 {
+		n.Panicf("idle check: %d packets still queued for injection", n.QueueDepth())
 	}
 	for vc, c := range n.downCred {
 		if c != n.credInit {
@@ -115,15 +119,15 @@ func (n *Interface) VerifyIdle() {
 	if n.checker.Outstanding() != 0 {
 		n.Panicf("idle check: %d packets partially delivered", n.checker.Outstanding())
 	}
-	if len(n.remaining) != 0 {
-		n.Panicf("idle check: %d messages partially reassembled", len(n.remaining))
+	if n.partial != 0 {
+		n.Panicf("idle check: %d messages partially reassembled", n.partial)
 	}
 }
 
 // QueueDepth returns the number of packets waiting for injection — the
 // source queue. Sustained growth indicates the network is saturated at this
 // terminal's injection rate.
-func (n *Interface) QueueDepth() int { return len(n.sendQ) }
+func (n *Interface) QueueDepth() int { return len(n.sendQ) - n.sendHead }
 
 // FlitsSent returns the number of flits injected into the network.
 func (n *Interface) FlitsSent() uint64 { return n.flitsSent }
@@ -148,7 +152,7 @@ func (n *Interface) SendMessage(m *types.Message) {
 }
 
 func (n *Interface) scheduleInject() {
-	if n.scheduled || len(n.sendQ) == 0 {
+	if n.scheduled || n.QueueDepth() == 0 {
 		return
 	}
 	now := n.Sim().Now()
@@ -167,7 +171,7 @@ func (n *Interface) ProcessEvent(ev *sim.Event) {
 	}
 	n.scheduled = false
 	n.injectOne()
-	if len(n.sendQ) > 0 {
+	if n.QueueDepth() > 0 {
 		// Remain scheduled while credits allow progress; if blocked, the
 		// next credit arrival reschedules.
 		if n.headSendable() {
@@ -179,13 +183,13 @@ func (n *Interface) ProcessEvent(ev *sim.Event) {
 // headSendable reports whether the head packet's next flit has a usable VC
 // credit right now.
 func (n *Interface) headSendable() bool {
-	if len(n.sendQ) == 0 {
+	if n.QueueDepth() == 0 {
 		return false
 	}
 	if n.curVC >= 0 {
 		return n.downCred[n.curVC] > 0
 	}
-	for _, vc := range n.policy(n.sendQ[0]) {
+	for _, vc := range n.policy(n.sendQ[n.sendHead]) {
 		if n.downCred[vc] > 0 {
 			return true
 		}
@@ -194,10 +198,10 @@ func (n *Interface) headSendable() bool {
 }
 
 func (n *Interface) injectOne() {
-	if len(n.sendQ) == 0 {
+	if n.QueueDepth() == 0 {
 		return
 	}
-	pkt := n.sendQ[0]
+	pkt := n.sendQ[n.sendHead]
 	f := pkt.Flits[n.curFlit]
 	if f.Head && n.curVC < 0 {
 		// Choose an injection VC: among the policy's legal VCs with credit,
@@ -240,11 +244,28 @@ func (n *Interface) injectOne() {
 	n.outCh.Inject(f)
 	n.flitsSent++
 	if f.Tail {
-		n.sendQ = n.sendQ[1:]
+		n.popPacket()
 		n.curFlit = 0
 		n.curVC = -1
 	} else {
 		n.curFlit++
+	}
+}
+
+// popPacket dequeues the head packet. The released slot is dropped lazily:
+// the queue resets when it drains and compacts when the consumed prefix is
+// at least half of a non-trivial buffer, keeping dequeue O(1) amortized
+// without unbounded growth at saturation.
+func (n *Interface) popPacket() {
+	n.sendQ[n.sendHead] = nil
+	n.sendHead++
+	switch {
+	case n.sendHead == len(n.sendQ):
+		n.sendQ = n.sendQ[:0]
+		n.sendHead = 0
+	case n.sendHead >= 32 && n.sendHead*2 >= len(n.sendQ):
+		n.sendQ = n.sendQ[:copy(n.sendQ, n.sendQ[n.sendHead:])]
+		n.sendHead = 0
 	}
 }
 
@@ -255,20 +276,19 @@ func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
 	n.flitsReceived++
 	packetDone := n.checker.Check(f)
 	n.creditOut.Inject(types.Credit{VC: f.VC})
+	// The reassembly countdown lives in the message (initialized to the flit
+	// count at construction) instead of an interface-side map; only the count
+	// of partially received messages is tracked here, for VerifyIdle.
 	m := f.Pkt.Msg
-	rem, ok := n.remaining[m]
-	if !ok {
-		// First flit of a message seen at the receiver.
-		n.remaining[m] = m.TotalFlits()
-		rem = m.TotalFlits()
+	if m.RxRemaining == m.TotalFlits() {
+		n.partial++ // first flit of a message seen at the receiver
 	}
-	rem--
-	n.remaining[m] = rem
+	m.RxRemaining--
 	if packetDone {
 		f.Pkt.ReceiveTime = now
 	}
-	if rem == 0 {
-		delete(n.remaining, m)
+	if m.RxRemaining == 0 {
+		n.partial--
 		m.ReceiveTime = now
 		if n.sink == nil {
 			n.Panicf("message delivered but no sink registered")

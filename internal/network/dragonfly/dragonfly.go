@@ -129,11 +129,6 @@ func (d *Dragonfly) globalOwner(g, tg int) (router, port int) {
 	return slot / d.h, slot % d.h
 }
 
-// dfState tracks a non-minimal packet's progress past its intermediate group.
-type dfState struct {
-	passedInter bool
-}
-
 // dfAlg implements minimal / Valiant / UGAL dragonfly routing with the
 // standard ascending VC classes: local hops use VC 0 in the source group,
 // VC 1 in an intermediate group and the last class in the destination group;
@@ -153,16 +148,16 @@ func (a *dfAlg) Route(now sim.Tick, pkt *types.Packet, inPort, inVC int) routing
 	dstR := dst / d.p
 	dg := dstR / d.a
 
-	if d.alg != algMinimal && pkt.HopCount == 0 && !pkt.NonMinimal && pkt.RoutingState == nil {
+	// The routing scratch's Dateline flag tracks a non-minimal packet's
+	// progress past its intermediate group; Valid marks the source decision
+	// as taken.
+	st := &pkt.Routing
+	if d.alg != algMinimal && pkt.HopCount == 0 && !pkt.NonMinimal && !st.Valid {
 		a.sourceDecision(now, pkt, g, dg, dstR)
 	}
-	st, _ := pkt.RoutingState.(*dfState)
-	if st == nil {
-		st = &dfState{}
-		pkt.RoutingState = st
-	}
-	if pkt.NonMinimal && !st.passedInter && (g == pkt.Intermediate || g == dg) {
-		st.passedInter = true
+	st.Valid = true
+	if pkt.NonMinimal && !st.Dateline && (g == pkt.Intermediate || g == dg) {
+		st.Dateline = true
 	}
 	if g == dg {
 		lastLocal := 1
@@ -180,12 +175,12 @@ func (a *dfAlg) Route(now sim.Tick, pkt *types.Packet, inPort, inVC int) routing
 		return routing.Response{Port: d.localPort(o), VCs: []int{lastLocal}}
 	}
 	tg := dg
-	if pkt.NonMinimal && !st.passedInter {
+	if pkt.NonMinimal && !st.Dateline {
 		tg = pkt.Intermediate
 	}
 	ro, gp := d.globalOwner(g, tg)
 	class := 0
-	if pkt.NonMinimal && st.passedInter {
+	if pkt.NonMinimal && st.Dateline {
 		class = 1
 	}
 	if a.router%d.a == ro {

@@ -122,12 +122,6 @@ func (t *Torus) neighbor(rid, d, dir int) int {
 	return rid + (nc-c)*stride
 }
 
-// dorState is the per-packet dateline tracking state.
-type dorState struct {
-	dim     int
-	crossed bool
-}
-
 // dorAlg is deterministic dimension-order routing with dateline VC classes:
 // packets travel dimensions in ascending order, take the shortest ring
 // direction, and move to the upper half of the VCs after crossing a ring's
@@ -159,17 +153,18 @@ func (a *dorAlg) Route(now sim.Tick, pkt *types.Packet, inPort, inVC int) routin
 			dir = -1
 		}
 		wraps := (dir == +1 && cc == w-1) || (dir == -1 && cc == 0)
-		st, _ := pkt.RoutingState.(*dorState)
-		if st == nil || st.dim != d {
-			st = &dorState{dim: d}
-			pkt.RoutingState = st
+		// The routing scratch tracks the current dimension (Phase) and its
+		// dateline-crossed flag; entering a new dimension resets the flag.
+		st := &pkt.Routing
+		if !st.Valid || int(st.Phase) != d {
+			*st = types.RoutingScratch{Valid: true, Phase: int8(d)}
 		}
 		vcs := a.class0
-		if st.crossed || wraps {
+		if st.Dateline || wraps {
 			vcs = a.class1
 		}
 		if wraps {
-			st.crossed = true
+			st.Dateline = true
 		}
 		port := t.portPlus(d)
 		if dir == -1 {

@@ -212,13 +212,18 @@ func (b *base) verifyIdleCredits() {
 // registered set. Contention is resolved either by a rotating start offset
 // (round robin) or by packet age (oldest first). It returns the clients
 // still pending and whether any grant was made.
-func allocateVCs(pending []int, rotate int, ageOrder bool,
+//
+// scratch is caller-owned ordering storage with capacity for at least
+// len(pending) entries (routers size it to their input VC count once); grant
+// marks ride in the inputVC structs. The allocator itself never allocates —
+// it runs every core cycle on every router.
+func allocateVCs(pending, scratch []int, rotate int, ageOrder bool,
 	in []inputVC, holder [][]int, sched []*xbarSched) ([]int, bool) {
 	n := len(pending)
 	if n == 0 {
 		return pending, false
 	}
-	order := make([]int, n)
+	order := scratch[:n]
 	if ageOrder {
 		copy(order, pending)
 		// Insertion sort by age: pending lists are short.
@@ -239,7 +244,6 @@ func allocateVCs(pending []int, rotate int, ageOrder bool,
 		}
 	}
 	progress := false
-	granted := make(map[int]bool, n)
 	for _, client := range order {
 		iv := &in[client]
 		for _, vc := range iv.resp.VCs {
@@ -247,7 +251,7 @@ func allocateVCs(pending []int, rotate int, ageOrder bool,
 				holder[iv.resp.Port][vc] = client
 				iv.outPort, iv.outVC = iv.resp.Port, vc
 				sched[iv.resp.Port].addContender(client)
-				granted[client] = true
+				iv.granted = true
 				progress = true
 				break
 			}
@@ -255,7 +259,10 @@ func allocateVCs(pending []int, rotate int, ageOrder bool,
 	}
 	kept := pending[:0]
 	for _, client := range pending {
-		if !granted[client] {
+		iv := &in[client]
+		if iv.granted {
+			iv.granted = false
+		} else {
 			kept = append(kept, client)
 		}
 	}

@@ -37,6 +37,7 @@ type IOQ struct {
 	in         []inputVC
 	holder     [][]int
 	vcPending  []int
+	vcOrder    []int // allocateVCs ordering scratch, capacity len(in)
 	vcRotate   int
 	vcAgeOrder bool
 	sched      []*xbarSched
@@ -62,6 +63,7 @@ func NewIOQ(s *sim.Simulator, name string, cfg *config.Settings, p Params) *IOQ 
 	r.outDepth = int(cfg.UIntOr("output_queue_depth", 64))
 	r.chanClock = sim.NewClock(r.chanPeriod, 0)
 	r.in = make([]inputVC, r.radix*r.vcs)
+	r.vcOrder = make([]int, len(r.in))
 	for i := range r.in {
 		r.in[i].outPort, r.in[i].outVC = -1, -1
 	}
@@ -219,7 +221,7 @@ func (r *IOQ) pipeline() {
 	progress := false
 	// Stage 1: VC allocation (identical policy to the IQ architecture).
 	var vcProgress bool
-	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.vcRotate++
 	progress = progress || vcProgress
 	// Stage 2: switch allocation against output queue space.

@@ -27,8 +27,9 @@ type inputVC struct {
 	q          flitQueue
 	routeState int
 	resp       routing.Response
-	outPort    int // allocated output port, -1 until VC allocation
-	outVC      int // allocated output VC, -1 until VC allocation
+	outPort    int  // allocated output port, -1 until VC allocation
+	outVC      int  // allocated output VC, -1 until VC allocation
+	granted    bool // transient grant mark used within one allocateVCs pass
 }
 
 // IQ is the input-queued router architecture modeled after the standard
@@ -47,6 +48,7 @@ type IQ struct {
 	in            []inputVC
 	holder        [][]int // [port][vc] -> client holding the output VC, -1 free
 	vcPending     []int   // clients awaiting output VC allocation
+	vcOrder       []int   // allocateVCs ordering scratch, capacity len(in)
 	vcRotate      int
 	vcAgeOrder    bool // VC scheduler policy: age_based instead of round_robin
 	sched         []*xbarSched
@@ -66,6 +68,7 @@ func NewIQ(s *sim.Simulator, name string, cfg *config.Settings, p Params) *IQ {
 	}
 	r.xbar = crossbar.New(r.radix, xbarLat, r.coreClock.Period(), 1)
 	r.in = make([]inputVC, r.radix*r.vcs)
+	r.vcOrder = make([]int, len(r.in))
 	for i := range r.in {
 		r.in[i].outPort, r.in[i].outVC = -1, -1
 	}
@@ -204,7 +207,7 @@ func (r *IQ) pipeline() {
 	progress := false
 	// Stage 1: VC allocation (the VC scheduler).
 	var vcProgress bool
-	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.vcRotate++
 	progress = progress || vcProgress
 	// Stage 2: switch allocation, one winner per output port.

@@ -28,7 +28,8 @@ type Response struct {
 
 // Algorithm computes the routing decision for a packet's head flit arriving
 // at a router input. Implementations may consult the router's congestion
-// sensor and may record per-packet state in pkt.RoutingState.
+// sensor and may record per-packet state in the pkt.Routing scratch (a
+// fixed-size value, so recording state never allocates).
 type Algorithm interface {
 	// Route returns the output decision for pkt, whose head flit sits at
 	// input (port, vc) of the router this algorithm instance belongs to.

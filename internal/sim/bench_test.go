@@ -21,6 +21,32 @@ func BenchmarkHeapChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkEventHeapPushPop measures the raw event heap operations in
+// isolation — no handler dispatch, no free-list — at a realistic pending-set
+// size. The heap is the simulator's hottest data structure; this benchmark
+// exists so heap changes are measured standalone (run with -benchmem: the
+// steady state must not allocate).
+func BenchmarkEventHeapPushPop(b *testing.B) {
+	const pending = 4096
+	var h eventHeap
+	events := make([]Event, pending)
+	for i := range events {
+		events[i].Time = Time{Tick: Tick(i % 257)}
+		events[i].seq = uint64(i)
+		h.push(&events[i])
+	}
+	seq := uint64(pending)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := h.pop()
+		e.Time.Tick += Tick(1 + seq%257) // reinsert in the near future
+		e.seq = seq
+		seq++
+		h.push(e)
+	}
+}
+
 // BenchmarkSchedule measures raw push cost into a deep queue.
 func BenchmarkSchedule(b *testing.B) {
 	s := NewSimulator(1)

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Process-wide expvar gauges fed by ProgressMonitor, for scraping via the
+// standard /debug/vars endpoint when an HTTP server is running. They are
+// published lazily on first Attach (expvar panics on duplicate names).
+var (
+	expvarOnce      sync.Once
+	gaugeEvents     *expvar.Int
+	gaugeEventsRate *expvar.Float
+	gaugeHeapBytes  *expvar.Int
+	gaugeTick       *expvar.Int
+)
+
+func publishGauges() {
+	expvarOnce.Do(func() {
+		gaugeEvents = expvar.NewInt("supersim.events")
+		gaugeEventsRate = expvar.NewFloat("supersim.events_per_sec")
+		gaugeHeapBytes = expvar.NewInt("supersim.heap_bytes")
+		gaugeTick = expvar.NewInt("supersim.tick")
+	})
+}
+
+// ProgressMonitor periodically reports simulation progress: executed events,
+// execution rate (events per wall-clock second since the previous report),
+// the current simulated tick, and live heap bytes. Every report updates the
+// supersim.* expvar gauges; if Out is non-nil, one text line per report is
+// written there as well.
+//
+// The monitor reads the wall clock and runtime.MemStats, but only inside the
+// Monitor callback — it never feeds anything back into the simulation, so
+// determinism is unaffected. Perf work on the simulator should be measured
+// with these hooks (or the -cpuprofile/-memprofile flags of cmd/supersim and
+// `go test -bench`), not guessed.
+type ProgressMonitor struct {
+	Out io.Writer // optional text sink; nil updates expvar gauges only
+
+	lastEvents uint64
+	lastWall   time.Time
+}
+
+// Attach registers the monitor on s, reporting every interval executed
+// events. It overwrites any previously registered Monitor callback.
+func (p *ProgressMonitor) Attach(s *Simulator, interval uint64) {
+	if interval == 0 {
+		panic("sim: ProgressMonitor interval must be positive")
+	}
+	publishGauges()
+	p.lastWall = time.Now()
+	p.lastEvents = s.Executed()
+	s.MonitorInterval = interval
+	s.Monitor = p.report
+}
+
+func (p *ProgressMonitor) report(now Time, executed uint64) {
+	wall := time.Now()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rate := 0.0
+	if secs := wall.Sub(p.lastWall).Seconds(); secs > 0 {
+		rate = float64(executed-p.lastEvents) / secs
+	}
+	gaugeEvents.Set(int64(executed))
+	gaugeEventsRate.Set(rate)
+	gaugeHeapBytes.Set(int64(ms.HeapAlloc))
+	gaugeTick.Set(int64(now.Tick))
+	if p.Out != nil {
+		fmt.Fprintf(p.Out, "progress: tick=%d events=%d rate=%.0f/s heap=%.1fMiB\n",
+			now.Tick, executed, rate, float64(ms.HeapAlloc)/(1<<20))
+	}
+	p.lastEvents = executed
+	p.lastWall = wall
+}

@@ -116,6 +116,9 @@ func (s *Simulator) Run() uint64 {
 
 // RunUntil executes events whose time is strictly before the given tick, then
 // returns. The simulation can be resumed with further Run/RunUntil calls.
+// Each event goes through exactly the same execution path as Run: the
+// time-went-backwards check and the Monitor callback both apply, so a
+// simulation stepped with RunUntil behaves identically to one driven by Run.
 func (s *Simulator) RunUntil(tick Tick) uint64 {
 	start := s.executed
 	s.running = true
@@ -125,6 +128,9 @@ func (s *Simulator) RunUntil(tick Tick) uint64 {
 			break
 		}
 		e = s.queue.pop()
+		if e.Time.Before(s.now) {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
+		}
 		s.now = e.Time
 		h := e.Handler
 		s.executed++
@@ -132,6 +138,9 @@ func (s *Simulator) RunUntil(tick Tick) uint64 {
 		e.Handler = nil
 		e.Context = nil
 		s.free = append(s.free, e)
+		if s.Monitor != nil && s.MonitorInterval > 0 && s.executed%s.MonitorInterval == 0 {
+			s.Monitor(s.now, s.executed)
+		}
 	}
 	s.running = false
 	return s.executed - start

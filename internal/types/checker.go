@@ -7,14 +7,19 @@ import "fmt"
 // destination and in the right order with respect to the other flits of its
 // packet. Terminals run one checker each; a violation panics, catching buggy
 // component models early.
+//
+// The expected-flit cursor lives in the packet itself (Packet.rxNext) rather
+// than in a checker-side map: a packet is only ever delivered to one
+// terminal, and keeping the cursor inline removes a map operation per
+// delivered flit from the ejection hot path.
 type OrderChecker struct {
-	terminal int
-	expected map[*Packet]int
+	terminal    int
+	outstanding int // packets with partial deliveries
 }
 
 // NewOrderChecker creates a checker for the given terminal ID.
 func NewOrderChecker(terminal int) *OrderChecker {
-	return &OrderChecker{terminal: terminal, expected: map[*Packet]int{}}
+	return &OrderChecker{terminal: terminal}
 }
 
 // Check validates one delivered flit. It panics on a wrong destination, an
@@ -26,7 +31,7 @@ func (c *OrderChecker) Check(f *Flit) bool {
 		panic(fmt.Sprintf("types: %v delivered to terminal %d, want destination %d",
 			f, c.terminal, p.Msg.Dst))
 	}
-	want := c.expected[p]
+	want := p.rxNext
 	if f.ID != want {
 		panic(fmt.Sprintf("types: %v out of order at terminal %d: got flit %d, want %d",
 			f, c.terminal, f.ID, want))
@@ -35,12 +40,18 @@ func (c *OrderChecker) Check(f *Flit) bool {
 		if !f.Tail {
 			panic(fmt.Sprintf("types: %v is last flit but not marked tail", f))
 		}
-		delete(c.expected, p)
+		if want > 0 {
+			c.outstanding--
+		}
+		p.rxNext = 0 // rearm for pool reuse
 		return true
 	}
-	c.expected[p] = want + 1
+	if want == 0 {
+		c.outstanding++
+	}
+	p.rxNext = want + 1
 	return false
 }
 
 // Outstanding returns the number of packets with partial deliveries.
-func (c *OrderChecker) Outstanding() int { return len(c.expected) }
+func (c *OrderChecker) Outstanding() int { return c.outstanding }

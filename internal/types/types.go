@@ -8,6 +8,41 @@
 // allocation in a router: routers manage buffering, data flow and resource
 // scheduling at flit granularity, which is why flit-level simulation is
 // required to understand router microarchitecture behavior.
+//
+// # Memory layout
+//
+// A message's packets and flits are not individual heap objects: each message
+// owns one contiguous []Packet block and one contiguous []Flit block, and the
+// exported pointer slices (Message.Packets, Packet.Flits) are views into
+// those blocks. Building a message therefore costs a constant number of
+// allocations regardless of its flit count, and walking a packet's flits is a
+// linear scan of adjacent memory.
+//
+// # Pooling and the message lifecycle
+//
+// Flit-level DES throughput is dominated by traffic-object churn, so the
+// steady-state path recycles messages through a Pool instead of allocating:
+//
+//   - An application obtains a message from its workload's Pool
+//     (Pool.NewMessage) and hands it to the network interface.
+//   - The network delivers the flits; the ejection-side interface reassembles
+//     the message and passes it to the workload's demultiplexer.
+//   - After the owning application's DeliverMessage returns (statistics
+//     recorded, no references retained), the workload calls Pool.Release and
+//     the message's blocks go back on the free list.
+//
+// Ownership rules: Release is legal only once per delivery, only after every
+// flit of the message has been delivered, and only by the releaser of record
+// (the workload demux); components must not retain message, packet or flit
+// pointers across delivery. A Pool is deliberately lock-free and
+// single-threaded — it belongs to one Workload driven by one Simulator, the
+// same ownership discipline as the simulator's event free list. Concurrent
+// sweeps (internal/sweep, internal/taskrun) each build their own Simulation
+// and therefore their own Pool, so no synchronization is needed or provided.
+//
+// Messages built with the package-level NewMessage are unpooled: they have no
+// owning Pool, and Release on them is a no-op, which keeps tests and
+// single-shot tools allocation-compatible with the pooled hot path.
 package types
 
 import (
@@ -23,6 +58,7 @@ type Message struct {
 	Transaction uint64 // transaction grouping tag
 	Src, Dst    int    // terminal IDs
 
+	// Packets are views into the message's contiguous packet block.
 	Packets []*Packet
 
 	CreateTime  sim.Tick // when the application created the message
@@ -31,52 +67,112 @@ type Message struct {
 
 	Sampled bool // flagged for statistics sampling
 	OpCode  int  // application-specific operation code
+
+	// RxRemaining counts the flits not yet delivered to the destination.
+	// It is initialized to the total flit count and owned by the
+	// ejection-side network interface during reassembly.
+	RxRemaining int
+
+	// Contiguous storage backing Packets and every Packet's Flits view.
+	pktBlock  []Packet
+	flitBlock []Flit
+	flitPtrs  []*Flit
+
+	maxPkt   int   // segmentation parameter, part of the pool bucket key
+	pool     *Pool // owning pool; nil for unpooled messages
+	released bool  // guards against double Release
 }
 
-// NewMessage creates a message of totalFlits flits segmented into packets of
-// at most maxPacketSize flits each. totalFlits and maxPacketSize must be
-// positive.
+// NewMessage creates an unpooled message of totalFlits flits segmented into
+// packets of at most maxPacketSize flits each. totalFlits and maxPacketSize
+// must be positive. Hot paths should draw from a Pool instead.
 func NewMessage(id uint64, app, src, dst int, totalFlits, maxPacketSize int) *Message {
+	validateShape(id, totalFlits, maxPacketSize)
+	m := &Message{}
+	m.alloc(totalFlits, maxPacketSize)
+	m.reset(id, app, src, dst)
+	return m
+}
+
+func validateShape(id uint64, totalFlits, maxPacketSize int) {
 	if totalFlits <= 0 {
 		panic(fmt.Sprintf("types: message %d: totalFlits %d must be positive", id, totalFlits))
 	}
 	if maxPacketSize <= 0 {
 		panic(fmt.Sprintf("types: message %d: maxPacketSize %d must be positive", id, maxPacketSize))
 	}
-	m := &Message{ID: id, App: app, Src: src, Dst: dst}
+}
+
+// alloc builds the contiguous packet/flit blocks and the immutable identity
+// fields (packet IDs, flit IDs, head/tail flags, back-pointers). It runs once
+// per message shape; reuse only re-runs reset.
+func (m *Message) alloc(totalFlits, maxPacketSize int) {
 	numPackets := (totalFlits + maxPacketSize - 1) / maxPacketSize
+	m.pktBlock = make([]Packet, numPackets)
+	m.flitBlock = make([]Flit, totalFlits)
+	m.flitPtrs = make([]*Flit, totalFlits)
 	m.Packets = make([]*Packet, numPackets)
+	m.maxPkt = maxPacketSize
 	remaining := totalFlits
+	base := 0
 	for p := 0; p < numPackets; p++ {
 		size := maxPacketSize
 		if remaining < size {
 			size = remaining
 		}
 		remaining -= size
-		pkt := &Packet{Msg: m, ID: p, Intermediate: -1}
-		pkt.Flits = make([]*Flit, size)
+		pkt := &m.pktBlock[p]
+		pkt.Msg = m
+		pkt.ID = p
+		pkt.Flits = m.flitPtrs[base : base+size : base+size]
 		for f := 0; f < size; f++ {
-			pkt.Flits[f] = &Flit{
-				Pkt:  pkt,
-				ID:   f,
-				Head: f == 0,
-				Tail: f == size-1,
-				VC:   -1,
-			}
+			fl := &m.flitBlock[base+f]
+			fl.Pkt = pkt
+			fl.ID = f
+			fl.Head = f == 0
+			fl.Tail = f == size-1
+			m.flitPtrs[base+f] = fl
 		}
+		base += size
 		m.Packets[p] = pkt
 	}
-	return m
+}
+
+// reset restores every mutable field to its initial value so a recycled
+// message is indistinguishable from a freshly allocated one.
+func (m *Message) reset(id uint64, app, src, dst int) {
+	m.ID = id
+	m.App = app
+	m.Transaction = 0
+	m.Src = src
+	m.Dst = dst
+	m.CreateTime = 0
+	m.InjectTime = 0
+	m.ReceiveTime = 0
+	m.Sampled = false
+	m.OpCode = 0
+	m.RxRemaining = len(m.flitBlock)
+	m.released = false
+	for i := range m.pktBlock {
+		pkt := &m.pktBlock[i]
+		pkt.HopCount = 0
+		pkt.NonMinimal = false
+		pkt.Intermediate = -1
+		pkt.InjectTime = 0
+		pkt.ReceiveTime = 0
+		pkt.Routing = RoutingScratch{}
+		pkt.rxNext = 0
+	}
+	for i := range m.flitBlock {
+		fl := &m.flitBlock[i]
+		fl.VC = -1
+		fl.SendTime = 0
+		fl.ReceiveTime = 0
+	}
 }
 
 // TotalFlits returns the number of flits across all packets of the message.
-func (m *Message) TotalFlits() int {
-	n := 0
-	for _, p := range m.Packets {
-		n += len(p.Flits)
-	}
-	return n
-}
+func (m *Message) TotalFlits() int { return len(m.flitBlock) }
 
 // Packet is the unit of routing: all flits of a packet follow the head flit's
 // path. Packets carry the mutable routing state used by adaptive algorithms.
@@ -92,9 +188,21 @@ type Packet struct {
 	InjectTime  sim.Tick // head flit network entry
 	ReceiveTime sim.Tick // tail flit delivery
 
-	// RoutingState is scratch storage owned by the routing algorithm (e.g.
-	// dateline crossing flags, UGAL phase). Routers never interpret it.
-	RoutingState any
+	// Routing is fixed-size scratch storage owned by the routing algorithm
+	// (e.g. dateline crossing flags, UGAL phase). Routers never interpret it.
+	Routing RoutingScratch
+
+	rxNext int // next expected flit ID at the destination (OrderChecker)
+}
+
+// RoutingScratch is per-packet scratch storage for routing algorithms. It is
+// a small value struct rather than an `any` box so adaptive algorithms do not
+// heap-allocate per routed packet. The fields are algorithm-defined; the
+// framework only guarantees they are zeroed when a packet is (re)built.
+type RoutingScratch struct {
+	Valid    bool // the algorithm has initialized this scratch
+	Phase    int8 // algorithm-defined phase counter (e.g. current DOR dimension)
+	Dateline bool // dateline crossed / intermediate point passed
 }
 
 // Size returns the number of flits in the packet.

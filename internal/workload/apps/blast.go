@@ -196,7 +196,7 @@ func (b *Blast) inject(term int) {
 		return
 	}
 	dst := b.pattern.Dest(b.rng, term)
-	m := types.NewMessage(b.w.NextMessageID(), b.appID, term, dst, b.msgSize, b.maxPkt)
+	m := b.w.NewMessage(b.appID, term, dst, b.msgSize, b.maxPkt)
 	m.CreateTime = b.Sim().Now().Tick
 	if b.phase == phGenerating {
 		m.Sampled = true

@@ -136,7 +136,7 @@ func (p *Pulse) inject(term int) {
 		return
 	}
 	dst := p.pattern.Dest(p.rng, term)
-	m := types.NewMessage(p.w.NextMessageID(), p.appID, term, dst, p.msgSize, p.maxPkt)
+	m := p.w.NewMessage(p.appID, term, dst, p.msgSize, p.maxPkt)
 	m.CreateTime = p.Sim().Now().Tick
 	m.Sampled = true
 	p.outstanding++

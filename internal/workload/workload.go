@@ -94,6 +94,7 @@ type Workload struct {
 	pending  int
 
 	msgID uint64
+	pool  *types.Pool
 
 	// PhaseTimes records when each phase began (tick), indexed by Phase.
 	PhaseTimes [4]sim.Tick
@@ -106,6 +107,7 @@ func New(s *sim.Simulator, cfg *config.Settings, net network.Network) *Workload 
 	w := &Workload{
 		ComponentBase: sim.NewComponentBase(s, "workload"),
 		net:           net,
+		pool:          types.NewPool(),
 	}
 	raw := cfg.Array("applications")
 	if len(raw) == 0 {
@@ -151,6 +153,29 @@ func (w *Workload) Network() network.Network { return w.net }
 func (w *Workload) NextMessageID() uint64 {
 	w.msgID++
 	return w.msgID
+}
+
+// Pool returns the workload's message pool.
+func (w *Workload) Pool() *types.Pool { return w.pool }
+
+// SetPool replaces the workload's message pool. It must be called before any
+// traffic is generated; the main use is sharing one pool across sequential
+// runs (e.g. determinism tests of warm-pool behavior). The pool is
+// single-threaded — never share one across concurrently running simulations.
+func (w *Workload) SetPool(p *types.Pool) {
+	if p == nil {
+		w.Panicf("SetPool(nil)")
+	}
+	w.pool = p
+}
+
+// NewMessage allocates a message ID and draws a recycled message of the
+// requested shape from the workload's pool. Applications inject with this
+// rather than types.NewMessage so the steady-state traffic path stays
+// allocation-free.
+func (w *Workload) NewMessage(app, src, dst, totalFlits, maxPacketSize int) *types.Message {
+	w.msgID++
+	return w.pool.NewMessage(w.msgID, app, src, dst, totalFlits, maxPacketSize)
 }
 
 // Ready signals that application app finished warming. When all applications
@@ -212,10 +237,14 @@ type demux struct {
 	w *Workload
 }
 
-// DeliverMessage implements netiface.MessageSink.
+// DeliverMessage implements netiface.MessageSink. This is the message
+// retirement point: once the owning application has recorded its statistics
+// and returned, no component holds a reference to the message, so its blocks
+// are recycled through the workload's pool.
 func (d *demux) DeliverMessage(m *types.Message) {
 	if m.App < 0 || m.App >= len(d.w.apps) {
 		panic(fmt.Sprintf("workload: message %d from unknown application %d", m.ID, m.App))
 	}
 	d.w.apps[m.App].DeliverMessage(m)
+	d.w.pool.Release(m)
 }
