@@ -1,13 +1,17 @@
 # SuperSim build/test/benchmark entry points.
 #
-#   make ci      - everything a merge must pass: build, vet, tests, and the
-#                  race detector on the two concurrent packages
+#   make ci      - everything a merge must pass: build, vet, tests (which
+#                  include the fuzz seed corpora and golden-trace conformance
+#                  runs), and the race detector over every package
+#   make cover   - per-package statement coverage against the committed floors
+#                  in coverage_floors.txt
+#   make fuzz    - short live fuzzing session on the config parsers
 #   make bench   - the paper's table/figure benchmark suite with -benchmem
 #   make micro   - the standalone hot-structure micro-benchmarks
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench micro
+.PHONY: all build vet test race cover fuzz ci bench micro
 
 all: ci
 
@@ -20,11 +24,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# internal/taskrun and internal/sweep run simulations on worker goroutines;
-# they are the only packages with cross-goroutine traffic, so they get the
-# race detector (everything else is single-threaded by design).
+# The simulator proper is single-threaded by design, but taskrun/sweep drive
+# it from worker goroutines and nothing stops a future package from doing the
+# same — so CI races everything, not just the packages known to be concurrent.
 race:
-	$(GO) test -race ./internal/taskrun ./internal/sweep
+	$(GO) test -race ./...
+
+# Per-package statement coverage with committed floors: a drop below any
+# package's floor in coverage_floors.txt fails the target.
+cover:
+	sh scripts/check_cover.sh coverage_floors.txt
+
+# Short live fuzzing session on the config loader and override parser. The
+# committed seed corpora under internal/config/testdata/fuzz run on every
+# plain `go test`; this target actually explores beyond them.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config
+	$(GO) test -run='^$$' -fuzz=FuzzSettingsOverride -fuzztime=10s ./internal/config
 
 ci: build vet test race
 

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end golden tests: the committed sample log goes through the real
+// run() entry point and the complete stdout and CSV output must match the
+// committed goldens byte for byte. Regenerate after intentional output
+// changes with:
+//
+//	SUPERSIM_UPDATE_GOLDEN=1 go test ./cmd/ssparse
+
+const updateEnv = "SUPERSIM_UPDATE_GOLDEN"
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- buf
+	}()
+	ferr := fn()
+	os.Stdout = orig
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// checkGolden compares got against the golden file, or rewrites it when the
+// update env var is set.
+func checkGolden(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	if os.Getenv(updateEnv) != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with %s=1 to create): %v", updateEnv, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s\ngot:\n%s\nwant:\n%s\nRegenerate with %s=1 if intentional.",
+			goldenPath, got, want, updateEnv)
+	}
+}
+
+func TestGoldenStdout(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{filepath.Join("testdata", "sample.log")})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_stdout.txt"), out)
+}
+
+func TestGoldenStdoutFiltered(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{filepath.Join("testdata", "sample.log"), "+app=1", "+nonmin=1"})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_stdout_filtered.txt"), out)
+}
+
+func TestGoldenCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	captureStdout(t, func() error {
+		return run([]string{filepath.Join("testdata", "sample.log"), "-csv", csv})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden.csv"), got)
+}

@@ -40,6 +40,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	monitor := flag.Uint64("monitor", 0, "report events/sec and heap every N executed events (0 disables)")
+	verifyRun := flag.Bool("verify", false, "enable runtime invariant verification (flit/credit conservation, aliasing sentinel, progress watchdog)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: supersim <config.json> [path=type=value ...]")
@@ -58,7 +59,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(flag.Arg(0), flag.Args()[1:], *logPath, *quiet, *monitor)
+	err := run(flag.Arg(0), flag.Args()[1:], *logPath, *quiet, *monitor, *verifyRun)
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
 			err = werr
@@ -80,13 +81,18 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor uint64) error {
+func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor uint64, verifyRun bool) error {
 	cfg, err := config.LoadFile(cfgPath)
 	if err != nil {
 		return err
 	}
 	if err := cfg.ApplyOverrides(overrides); err != nil {
 		return err
+	}
+	if verifyRun {
+		if err := cfg.ApplyOverride("simulation.verify.enabled=bool=true"); err != nil {
+			return err
+		}
 	}
 	sm, err := core.BuildE(cfg)
 	if err != nil {

@@ -13,6 +13,7 @@ package channel
 import (
 	"supersim/internal/sim"
 	"supersim/internal/types"
+	"supersim/internal/verify"
 )
 
 const (
@@ -38,6 +39,8 @@ type Channel struct {
 	pending   []flitFlight // FIFO of in-flight flits (ring on head index)
 	head      int
 	scheduled bool
+
+	v *verify.Verifier // nil unless invariant verification is attached
 }
 
 // New creates a flit channel. latency is the propagation delay in ticks;
@@ -53,6 +56,7 @@ func New(s *sim.Simulator, name string, latency, period sim.Tick) *Channel {
 		ComponentBase: sim.NewComponentBase(s, name),
 		latency:       latency,
 		period:        period,
+		v:             verify.For(s),
 	}
 }
 
@@ -97,6 +101,11 @@ func (c *Channel) Inject(f *types.Flit) {
 	}
 	if c.sink == nil {
 		c.Panicf("flit injected into unconnected channel")
+	}
+	if c.v != nil {
+		// Every channel hop is a touch point for the pool-aliasing sentinel:
+		// the flit must still be in flight under its injection generation.
+		c.v.FlitTouched(f)
 	}
 	c.nextSlot = now.Tick + c.period
 	c.injected++

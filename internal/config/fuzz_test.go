@@ -1,0 +1,83 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadConfig feeds arbitrary bytes through the full settings pipeline —
+// JSON parse, $include expansion, $ref resolution — via a real file, the way
+// every tool entry point consumes configuration. The pipeline must either
+// return an error or produce a Settings document whose canonical JSON
+// round-trips; it must never panic, hang on include cycles, or recurse
+// without bound on $ref chains. Seed corpus: testdata/fuzz/FuzzLoadConfig.
+func FuzzLoadConfig(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"simulation": {"seed": 1}, "network": {"topology": "torus"}}`,
+		`{"a": {"$ref": "b"}, "b": 42}`,
+		`{"a": {"$ref": "a"}}`,
+		`{"$include": "other.json"}`,
+		`{"$include": 7}`,
+		`{"a": [1, 2.5, "x", true, null, {"b": []}]}`,
+		`[1, 2, 3]`,
+		`not json at all`,
+		`{"deep": {"deep": {"deep": {"$ref": "deep.deep"}}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// $include opens arbitrary paths; keep the fuzzer away from device
+		// and kernel pseudo-files that can block a read forever.
+		if s := string(data); strings.Contains(s, "/dev") ||
+			strings.Contains(s, "/proc") || strings.Contains(s, "/sys") {
+			t.Skip("include path outside sandbox")
+		}
+		path := filepath.Join(t.TempDir(), "config.json")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		s, err := LoadFile(path)
+		if err != nil {
+			return // rejecting the input is fine; crashing is not
+		}
+		// A loaded document must survive a canonical-JSON round trip.
+		if _, err := Parse([]byte(s.JSON())); err != nil {
+			t.Fatalf("loaded settings do not round-trip: %v\n%s", err, s.JSON())
+		}
+	})
+}
+
+// FuzzSettingsOverride feeds arbitrary documents and override strings through
+// the path=type=value command line override parser. Malformed overrides and
+// paths that traverse non-object values must come back as errors — never
+// panics — because they arrive verbatim from user command lines.
+func FuzzSettingsOverride(f *testing.F) {
+	f.Add(`{}`, "a.b=uint=3")
+	f.Add(`{"a": 1}`, "a.b=uint=3")
+	f.Add(`{"a": {"b": 2}}`, "a.b=int=-4")
+	f.Add(`{"a": {"b": 2}}`, "a.b=float=0.25")
+	f.Add(`{"a": {}}`, "a.b=string=hello")
+	f.Add(`{"a": {}}`, "a.b=bool=true")
+	f.Add(`{"a": {}}`, "a.b=json={\"c\": [1, 2]}")
+	f.Add(`{}`, "=uint=3")
+	f.Add(`{}`, "a=nosuchtype=3")
+	f.Add(`{}`, "a.b")
+	f.Add(`{"arr": [1, 2]}`, "arr.0=uint=9")
+	f.Fuzz(func(t *testing.T, doc, arg string) {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Skip("document must parse; override parsing is under test")
+		}
+		if err := s.ApplyOverride(arg); err != nil {
+			return
+		}
+		// An accepted override must leave a document that still serializes.
+		if _, err := Parse([]byte(s.JSON())); err != nil {
+			t.Fatalf("settings corrupt after override %q: %v", arg, err)
+		}
+	})
+}

@@ -62,8 +62,22 @@ func (s *Settings) ApplyOverride(arg string) error {
 	default:
 		return fmt.Errorf("config: override %q: unknown type %q", arg, typ)
 	}
-	s.Set(path, value)
-	return nil
+	// Set panics with *Error when the path traverses a non-object value;
+	// overrides come straight from the command line, so that becomes a
+	// returned error rather than a crash.
+	return func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ce, ok := r.(*Error); ok {
+					err = fmt.Errorf("config: override %q: %w", arg, ce)
+					return
+				}
+				panic(r)
+			}
+		}()
+		s.Set(path, value)
+		return nil
+	}()
 }
 
 // ApplyOverrides applies a list of command line overrides in order.

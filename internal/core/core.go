@@ -20,6 +20,7 @@ import (
 	"supersim/internal/config"
 	"supersim/internal/network"
 	"supersim/internal/sim"
+	"supersim/internal/verify"
 	"supersim/internal/workload"
 
 	// Component model registrations: each topology and application model
@@ -38,6 +39,7 @@ type Simulation struct {
 	Sim      *sim.Simulator
 	Net      network.Network
 	Workload *workload.Workload
+	Verify   *verify.Verifier // nil unless simulation.verify.enabled
 }
 
 // Build assembles a simulation from the full settings document. It panics
@@ -53,9 +55,23 @@ func Build(cfg *config.Settings) *Simulation {
 	if mi := cfg.UIntOr("simulation.monitor_interval", 0); mi > 0 {
 		(&sim.ProgressMonitor{Out: os.Stderr}).Attach(s, mi)
 	}
+	// Opt-in invariant verification: "simulation": {"verify": {"enabled": true}}
+	// attaches the runtime checker before any component is constructed, so
+	// every interface, channel, and router picks it up via verify.For.
+	var v *verify.Verifier
+	if cfg.BoolOr("simulation.verify.enabled", false) {
+		v = verify.Attach(s, verify.Options{
+			WatchdogEpoch: sim.Tick(cfg.UIntOr("simulation.verify.watchdog_epoch", 100000)),
+		})
+	}
 	net := network.New(s, cfg.Sub("network"))
 	w := workload.New(s, cfg.Sub("workload"), net)
-	return &Simulation{Sim: s, Net: net, Workload: w}
+	if v != nil {
+		// The workload's message pool reports obtain/release so stale pooled
+		// pointers (aliasing bugs) are caught by the generation sentinel.
+		w.Pool().SetObserver(v)
+	}
+	return &Simulation{Sim: s, Net: net, Workload: w, Verify: v}
 }
 
 // BuildE is Build with panics recovered into errors.
@@ -98,6 +114,9 @@ func (sm *Simulation) Run() (Result, error) {
 	}
 	for i := 0; i < sm.Net.NumTerminals(); i++ {
 		sm.Net.Interface(i).VerifyIdle()
+	}
+	if sm.Verify != nil {
+		sm.Verify.VerifyDrained()
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"supersim/internal/config"
 	"supersim/internal/sim"
 	"supersim/internal/types"
+	"supersim/internal/verify"
 )
 
 const (
@@ -54,6 +55,10 @@ type Interface struct {
 	sink    MessageSink
 	partial int // messages with some but not all flits delivered
 
+	// invariant verification, nil unless attached to the simulator
+	v       *verify.Verifier
+	credLed *verify.CreditLedger
+
 	// statistics
 	flitsSent, flitsReceived uint64
 }
@@ -76,6 +81,7 @@ func New(s *sim.Simulator, name string, id int, cfg *config.Settings, vcs int, c
 		policy:        policy,
 		curVC:         -1,
 		checker:       types.NewOrderChecker(id),
+		v:             verify.For(s),
 	}
 }
 
@@ -101,6 +107,9 @@ func (n *Interface) SetDownstreamCredits(perVC int) {
 	n.credInit = perVC
 	for vc := range n.downCred {
 		n.downCred[vc] = perVC
+	}
+	if n.v != nil {
+		n.credLed = n.v.NewCreditLedger(n.Name()+".inject", n.vcs, perVC)
 	}
 }
 
@@ -235,6 +244,12 @@ func (n *Interface) injectOne() {
 	now := n.Sim().Now().Tick
 	f.VC = n.curVC
 	n.downCred[n.curVC]--
+	if n.v != nil {
+		// Register the flit in the in-flight ledger before the channel's
+		// touch check sees it, and cross-check the credit mirror.
+		n.v.FlitInjected(f)
+		n.credLed.Debit(n.curVC, n.downCred[n.curVC])
+	}
 	if f.Head {
 		pkt.InjectTime = now
 		if pkt.ID == 0 && f.ID == 0 {
@@ -274,6 +289,9 @@ func (n *Interface) popPacket() {
 func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
 	now := n.Sim().Now().Tick
 	n.flitsReceived++
+	if n.v != nil {
+		n.v.FlitRetired(f)
+	}
 	packetDone := n.checker.Check(f)
 	n.creditOut.Inject(types.Credit{VC: f.VC})
 	// The reassembly countdown lives in the message (initialized to the flit
@@ -303,5 +321,8 @@ func (n *Interface) ReceiveCredit(port int, c types.Credit) {
 		n.Panicf("credit for unregistered VC %d", c.VC)
 	}
 	n.downCred[c.VC]++
+	if n.v != nil {
+		n.credLed.Credit(c.VC, n.downCred[c.VC])
+	}
 	n.scheduleInject()
 }

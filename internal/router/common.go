@@ -1,6 +1,7 @@
 package router
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"supersim/internal/channel"
@@ -9,6 +10,7 @@ import (
 	"supersim/internal/routing"
 	"supersim/internal/sim"
 	"supersim/internal/types"
+	"supersim/internal/verify"
 )
 
 // event type tags shared by the architectures
@@ -41,6 +43,11 @@ type base struct {
 	sensor congestion.Tracker
 	algs   []routing.Algorithm // per input port
 	rng    *rand.Rand
+
+	// invariant verification, nil unless attached to the simulator
+	v       *verify.Verifier
+	credLed []*verify.CreditLedger // per output port, mirrors downCred
+	bufLed  []*verify.BufferLedger // per input port, tracks buffer occupancy
 
 	pipelineScheduled bool
 
@@ -83,6 +90,13 @@ func newBase(s *sim.Simulator, name string, cfg *config.Settings, p Params) base
 	}
 	for i := range b.downCred {
 		b.downCred[i] = make([]int, vcs)
+	}
+	if b.v = verify.For(s); b.v != nil {
+		b.credLed = make([]*verify.CreditLedger, p.Radix)
+		b.bufLed = make([]*verify.BufferLedger, p.Radix)
+		for port := 0; port < p.Radix; port++ {
+			b.bufLed[port] = b.v.NewBufferLedger(fmt.Sprintf("%s.in%d", name, port), vcs, bufDepth)
+		}
 	}
 	b.sensor = congestion.New(cfg.SubOr("congestion_sensor"), p.Radix, vcs)
 	if p.RoutingCtor == nil {
@@ -132,6 +146,9 @@ func (b *base) SetDownstreamCredits(port int, perVC int) {
 	for vc := range b.downCred[port] {
 		b.downCred[port][vc] = perVC
 	}
+	if b.v != nil {
+		b.credLed[port] = b.v.NewCreditLedger(fmt.Sprintf("%s.out%d", b.Name(), port), b.vcs, perVC)
+	}
 }
 
 func (b *base) checkPort(port int) {
@@ -166,6 +183,9 @@ func (b *base) takeDownstreamCredit(port, vc int) {
 	if b.downCred[port][vc] < 0 {
 		b.Panicf("downstream credits went negative on port %d vc %d", port, vc)
 	}
+	if b.v != nil {
+		b.credLed[port].Debit(vc, b.downCred[port][vc])
+	}
 	b.sensor.AddDownstream(b.Sim().Now().Tick, port, vc, 1)
 }
 
@@ -175,7 +195,18 @@ func (b *base) returnDownstreamCredit(port, vc int) {
 	if b.downCap[port] > 0 && b.downCred[port][vc] > b.downCap[port] {
 		b.Panicf("downstream credits exceeded capacity on port %d vc %d", port, vc)
 	}
+	if b.v != nil {
+		b.credLed[port].Credit(vc, b.downCred[port][vc])
+	}
 	b.sensor.AddDownstream(b.Sim().Now().Tick, port, vc, -1)
+}
+
+// noteArrival records a flit entering an input buffer with the verifier's
+// buffer ledger; architectures call it from ReceiveFlit.
+func (b *base) noteArrival(port, vc int) {
+	if b.v != nil {
+		b.bufLed[port].Arrive(vc)
+	}
 }
 
 // sendCreditUpstream releases one input buffer slot back to the sender.
@@ -183,6 +214,9 @@ func (b *base) sendCreditUpstream(port, vc int) {
 	cc := b.creditOut[port]
 	if cc == nil {
 		b.Panicf("no credit channel on input port %d", port)
+	}
+	if b.v != nil {
+		b.bufLed[port].Free(vc)
 	}
 	cc.Inject(types.Credit{VC: vc})
 }

@@ -102,6 +102,7 @@ func (r *IOQ) ReceiveFlit(port int, f *types.Flit) {
 		r.Panicf("input buffer overrun on port %d vc %d", port, f.VC)
 	}
 	iv.q.push(f)
+	r.noteArrival(port, f.VC)
 	r.maybeStartRoute(r.client(port, f.VC))
 	r.schedulePipeline()
 }

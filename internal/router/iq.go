@@ -104,6 +104,7 @@ func (r *IQ) ReceiveFlit(port int, f *types.Flit) {
 		r.Panicf("input buffer overrun on port %d vc %d", port, f.VC)
 	}
 	iv.q.push(f)
+	r.noteArrival(port, f.VC)
 	r.maybeStartRoute(r.client(port, f.VC))
 	r.schedulePipeline()
 }

@@ -85,6 +85,7 @@ func (r *OQ) ReceiveFlit(port int, f *types.Flit) {
 		r.Panicf("input buffer overrun on port %d vc %d", port, f.VC)
 	}
 	iv.q.push(f)
+	r.noteArrival(port, f.VC)
 	r.schedulePipeline()
 }
 

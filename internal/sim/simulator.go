@@ -27,6 +27,12 @@ type Simulator struct {
 	// Monitor, if non-nil, is invoked every MonitorInterval executed events.
 	Monitor         func(now Time, executed uint64)
 	MonitorInterval uint64
+
+	// verifier is an opaque attachment slot for the invariant-verification
+	// subsystem (internal/verify). It lives here so components can discover
+	// the verifier through the simulator they are built with; sim itself
+	// never inspects it, keeping this package dependency-free.
+	verifier any
 }
 
 // NewSimulator creates a simulator with the given PRNG seed.
@@ -47,6 +53,13 @@ func (s *Simulator) Seed() uint64 { return s.seed }
 // Rand returns the simulation-wide PRNG. Components must use this generator
 // (or one derived from it) so simulations are reproducible.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SetVerifier attaches an opaque verification object to the simulator. It is
+// set once, before components are built (see internal/verify.Attach).
+func (s *Simulator) SetVerifier(v any) { s.verifier = v }
+
+// Verifier returns the attached verification object, or nil.
+func (s *Simulator) Verifier() any { return s.verifier }
 
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }

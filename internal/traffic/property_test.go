@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property tests for the deterministic patterns: bijectivity (the pattern is
+// a permutation of the terminals, so no destination is oversubscribed by
+// construction), self-inversion where the pattern is an involution, and
+// range/self-exclusion everywhere. The deterministic patterns take no
+// randomness, so these are exhaustive over every source, not sampled.
+
+// assertPermutation checks p maps [0, n) one-to-one onto [0, n) with no fixed
+// points.
+func assertPermutation(t *testing.T, p Pattern, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	hit := make([]int, n)
+	for src := 0; src < n; src++ {
+		d := p.Dest(rng, src)
+		if d < 0 || d >= n {
+			t.Fatalf("Dest(%d) = %d out of range [0, %d)", src, d, n)
+		}
+		if d == src {
+			t.Fatalf("Dest(%d) returned the source", src)
+		}
+		hit[d]++
+	}
+	for d, c := range hit {
+		if c != 1 {
+			t.Fatalf("destination %d hit %d times; pattern is not a permutation", d, c)
+		}
+	}
+}
+
+func TestBitComplementProperties(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			p := BitComplement{N: n}
+			rng := rand.New(rand.NewPCG(1, 1))
+			assertPermutation(t, p, n)
+			// Complementing twice restores the source: an involution.
+			for src := 0; src < n; src++ {
+				if back := p.Dest(rng, p.Dest(rng, src)); back != src {
+					t.Fatalf("Dest(Dest(%d)) = %d, want the source back", src, back)
+				}
+			}
+		})
+	}
+}
+
+func TestTransposeProperties(t *testing.T) {
+	for _, side := range []int{2, 3, 4, 8, 10} {
+		t.Run(fmt.Sprintf("side%d", side), func(t *testing.T) {
+			n := side * side
+			p := Transpose{Side: side}
+			rng := rand.New(rand.NewPCG(1, 1))
+			for src := 0; src < n; src++ {
+				d := p.Dest(rng, src)
+				if d < 0 || d >= n {
+					t.Fatalf("Dest(%d) = %d out of range [0, %d)", src, d, n)
+				}
+				if d == src {
+					t.Fatalf("Dest(%d) returned the source", src)
+				}
+				i, j := src/side, src%side
+				if i == j {
+					continue // diagonal falls back to src+1, not an involution
+				}
+				if want := j*side + i; d != want {
+					t.Fatalf("Dest(%d) = %d, want transposed %d", src, d, want)
+				}
+				if back := p.Dest(rng, d); back != src {
+					t.Fatalf("off-diagonal Dest(Dest(%d)) = %d, want the source back", src, back)
+				}
+			}
+		})
+	}
+}
+
+func TestTornadoProperties(t *testing.T) {
+	cases := []struct {
+		widths []int
+		conc   int
+	}{
+		{[]int{2}, 1},
+		{[]int{4}, 1},
+		{[]int{5}, 1},
+		{[]int{6}, 2},
+		{[]int{3, 3}, 1},
+		{[]int{4, 4}, 2},
+		{[]int{2, 3, 4}, 1},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("w%v_c%d", c.widths, c.conc), func(t *testing.T) {
+			n := c.conc
+			for _, w := range c.widths {
+				n *= w
+			}
+			p := Tornado{Widths: c.widths, Conc: c.conc}
+			// A tornado is a fixed translation on the product of rings:
+			// necessarily a permutation, necessarily fixed-point-free (every
+			// dimension moves a nonzero offset), concentration preserved.
+			assertPermutation(t, p, n)
+			rng := rand.New(rand.NewPCG(1, 1))
+			for src := 0; src < n; src++ {
+				if d := p.Dest(rng, src); d%c.conc != src%c.conc {
+					t.Fatalf("Dest(%d) = %d changed the terminal-in-router slot", src, d)
+				}
+			}
+		})
+	}
+}
+
+func TestUniformRandomNonPowerOfTwo(t *testing.T) {
+	// Uniform random must hit exactly the other n-1 terminals from every
+	// source, including terminal counts with no power-of-two structure.
+	for _, n := range []int{2, 3, 7, 12, 33} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			p := UniformRandom{N: n}
+			rng := rand.New(rand.NewPCG(7, uint64(n)))
+			for src := 0; src < n; src++ {
+				seen := make(map[int]bool)
+				for draw := 0; draw < 200*n; draw++ {
+					d := p.Dest(rng, src)
+					if d < 0 || d >= n {
+						t.Fatalf("Dest(%d) = %d out of range [0, %d)", src, d, n)
+					}
+					if d == src {
+						t.Fatalf("Dest(%d) returned the source", src)
+					}
+					seen[d] = true
+				}
+				if len(seen) != n-1 {
+					t.Fatalf("src %d reached %d of %d possible destinations", src, len(seen), n-1)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,17 @@ type poolKey struct {
 	maxPacketSize int
 }
 
+// PoolObserver is notified of message lifecycle transitions through a pool.
+// The invariant-verification subsystem implements it to detect aliasing —
+// a message released or handed out while its flits are still in the network.
+type PoolObserver interface {
+	// MessageObtained fires after a message is drawn from the pool (recycled
+	// or freshly allocated) and reset.
+	MessageObtained(m *Message)
+	// MessageReleased fires when a message's blocks return to the free list.
+	MessageReleased(m *Message)
+}
+
 // Pool recycles retired message/packet/flit blocks, bucketed by message
 // shape. It is single-threaded by design — one Pool belongs to one Workload
 // driven by one Simulator, mirroring the simulator's event free list — so it
@@ -15,6 +26,7 @@ type poolKey struct {
 // The zero Pool is not usable; call NewPool.
 type Pool struct {
 	free map[poolKey][]*Message
+	obs  PoolObserver
 
 	gets     uint64 // NewMessage calls
 	hits     uint64 // NewMessage calls served from the free list
@@ -25,6 +37,10 @@ type Pool struct {
 func NewPool() *Pool {
 	return &Pool{free: map[poolKey][]*Message{}}
 }
+
+// SetObserver registers a lifecycle observer (nil to remove). Observation is
+// read-only; the observer must not retain or release messages.
+func (p *Pool) SetObserver(o PoolObserver) { p.obs = o }
 
 // PoolStats is a snapshot of a pool's recycling counters.
 type PoolStats struct {
@@ -52,11 +68,17 @@ func (p *Pool) NewMessage(id uint64, app, src, dst int, totalFlits, maxPacketSiz
 		p.free[k] = list[:len(list)-1]
 		p.hits++
 		m.reset(id, app, src, dst)
+		if p.obs != nil {
+			p.obs.MessageObtained(m)
+		}
 		return m
 	}
 	m := &Message{pool: p}
 	m.alloc(totalFlits, maxPacketSize)
 	m.reset(id, app, src, dst)
+	if p.obs != nil {
+		p.obs.MessageObtained(m)
+	}
 	return m
 }
 
@@ -74,6 +96,9 @@ func (p *Pool) Release(m *Message) {
 	}
 	m.released = true
 	p.releases++
+	if p.obs != nil {
+		p.obs.MessageReleased(m)
+	}
 	k := poolKey{len(m.flitBlock), m.maxPkt}
 	p.free[k] = append(p.free[k], m)
 }

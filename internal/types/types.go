@@ -81,7 +81,17 @@ type Message struct {
 	maxPkt   int   // segmentation parameter, part of the pool bucket key
 	pool     *Pool // owning pool; nil for unpooled messages
 	released bool  // guards against double Release
+
+	// gen counts the message's lives: it is bumped on every (re)initialization
+	// so verification layers can detect references into a recycled block (see
+	// internal/verify's pool-aliasing sentinel).
+	gen uint64
 }
+
+// Generation returns the message's life counter, bumped each time the
+// message's blocks are (re)initialized. A component holding a flit whose
+// message generation has changed is holding an aliased, recycled block.
+func (m *Message) Generation() uint64 { return m.gen }
 
 // NewMessage creates an unpooled message of totalFlits flits segmented into
 // packets of at most maxPacketSize flits each. totalFlits and maxPacketSize
@@ -141,6 +151,7 @@ func (m *Message) alloc(totalFlits, maxPacketSize int) {
 // reset restores every mutable field to its initial value so a recycled
 // message is indistinguishable from a freshly allocated one.
 func (m *Message) reset(id uint64, app, src, dst int) {
+	m.gen++
 	m.ID = id
 	m.App = app
 	m.Transaction = 0

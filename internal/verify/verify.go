@@ -1,0 +1,253 @@
+// Package verify implements the simulator's runtime invariant-verification
+// subsystem: a config-gated set of always-on structural checks that turn
+// silent correctness bugs — lost or duplicated flits, credit accounting
+// drift, pooled-object aliasing, deadlocks — into immediate panics with
+// component-level diagnostics.
+//
+// The subsystem is organized as one Verifier per Simulator plus lightweight
+// per-link ledgers handed out to components at construction time:
+//
+//   - Flit conservation: every flit injected at a terminal must be retired
+//     exactly once. The Verifier keeps a global in-flight ledger (flit ->
+//     generation at injection) that injection, every channel traversal, and
+//     ejection check against; core.Run reconciles it at drain.
+//   - Credit conservation: each upstream credit counter gets a CreditLedger
+//     mirror. Every debit/credit reports the component's own counter value,
+//     so any divergence (a flipped or skipped decrement) is caught at the
+//     very next credit operation, with bounds checks against the downstream
+//     buffer capacity. Downstream input buffers get a BufferLedger tracking
+//     occupancy against capacity.
+//   - Pool-aliasing sentinel: messages carry a generation stamp bumped on
+//     every (re)initialization. The in-flight ledger records the generation
+//     at injection; any later touch of the flit (channel hop, retirement)
+//     with a different generation means the message was recycled while its
+//     flits were still in the network. Pool release while flits are in
+//     flight panics directly through the pool observer.
+//   - Progress watchdog: a periodic self-scheduled check that panics when no
+//     flit has moved for a full epoch while flits are buffered in the
+//     network, dumping per-router VC occupancy — a deadlock/livelock
+//     detector for event-driven models that keep scheduling without making
+//     progress.
+//
+// Verification is attached per Simulator (verify.Attach) and discovered by
+// components with verify.For, which returns nil when disabled; components
+// guard every hook with a nil check, so the disabled hot path costs one
+// predictable branch and zero allocations. Checks are observation-only: they
+// never touch the PRNG or any component state, so enabling them cannot
+// change simulation results.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+const evWatchdog = 0
+
+// Options configures a Verifier.
+type Options struct {
+	// WatchdogEpoch is the progress watchdog period in ticks; if no flit
+	// moves for a full epoch while flits are in flight, the watchdog panics
+	// with an occupancy dump. Zero disables the watchdog.
+	WatchdogEpoch sim.Tick
+}
+
+// Verifier is the per-simulation invariant checker. Create one with Attach
+// before building components; components find it with For.
+type Verifier struct {
+	sim.ComponentBase
+	opts Options
+
+	// Flit conservation: the in-flight ledger maps every flit currently in
+	// the network to its message generation at injection.
+	inFlight map[*types.Flit]uint64
+	injected uint64
+	retired  uint64
+
+	// activity counts flit movements (injections, hops, retirements); the
+	// watchdog compares it across epochs.
+	activity     uint64
+	lastActivity uint64
+	watchdogOn   bool
+
+	credits []*CreditLedger
+	buffers []*BufferLedger
+}
+
+// Attach creates a Verifier and registers it on the simulator so that
+// components built afterwards discover it with For. Attaching twice panics.
+func Attach(s *sim.Simulator, opts Options) *Verifier {
+	if s.Verifier() != nil {
+		panic("verify: simulator already has a verifier attached")
+	}
+	v := &Verifier{
+		ComponentBase: sim.NewComponentBase(s, "verify"),
+		opts:          opts,
+		inFlight:      make(map[*types.Flit]uint64),
+	}
+	s.SetVerifier(v)
+	if opts.WatchdogEpoch > 0 {
+		v.watchdogOn = true
+		s.Schedule(v, sim.Time{Tick: opts.WatchdogEpoch}, evWatchdog, nil)
+	}
+	return v
+}
+
+// For returns the simulator's attached Verifier, or nil when verification is
+// disabled. Components call it once at construction and keep the pointer.
+func For(s *sim.Simulator) *Verifier {
+	if v, ok := s.Verifier().(*Verifier); ok {
+		return v
+	}
+	return nil
+}
+
+// Injected returns the number of flits injected at terminals so far.
+func (v *Verifier) Injected() uint64 { return v.injected }
+
+// Retired returns the number of flits retired at terminals so far.
+func (v *Verifier) Retired() uint64 { return v.retired }
+
+// InFlight returns the number of flits currently in the network.
+func (v *Verifier) InFlight() int { return len(v.inFlight) }
+
+// FlitInjected records a flit entering the network at a terminal. Injecting
+// a flit that is already in flight panics (duplicate injection or aliasing).
+func (v *Verifier) FlitInjected(f *types.Flit) {
+	if gen, ok := v.inFlight[f]; ok {
+		v.Panicf("%v injected while already in flight (generation %d, now %d) — duplicate injection or pool aliasing",
+			f, gen, f.Pkt.Msg.Generation())
+	}
+	v.inFlight[f] = f.Pkt.Msg.Generation()
+	v.injected++
+	v.activity++
+}
+
+// FlitTouched validates a flit at an intermediate touch point (every channel
+// injection): it must be in the in-flight ledger with an unchanged message
+// generation. A generation mismatch means the owning message was recycled
+// while this flit was still traversing the network.
+func (v *Verifier) FlitTouched(f *types.Flit) {
+	gen, ok := v.inFlight[f]
+	if !ok {
+		v.Panicf("%v touched but not in flight — flit forged, duplicated, or already retired", f)
+	}
+	if now := f.Pkt.Msg.Generation(); now != gen {
+		v.Panicf("%v touched with stale generation: injected at %d, message now at %d — pooled message recycled while in network",
+			f, gen, now)
+	}
+	v.activity++
+}
+
+// FlitRetired records a flit leaving the network at its destination
+// terminal. The flit must be in flight with an unchanged generation.
+func (v *Verifier) FlitRetired(f *types.Flit) {
+	gen, ok := v.inFlight[f]
+	if !ok {
+		v.Panicf("%v retired but not in flight — double retirement or lost injection record", f)
+	}
+	if now := f.Pkt.Msg.Generation(); now != gen {
+		v.Panicf("%v retired with stale generation: injected at %d, message now at %d — pooled message recycled while in network",
+			f, gen, now)
+	}
+	delete(v.inFlight, f)
+	v.retired++
+	v.activity++
+}
+
+// MessageObtained implements types.PoolObserver: a recycled message's flits
+// must not still be in the network under their previous life.
+func (v *Verifier) MessageObtained(m *types.Message) {
+	v.checkNoFlitsInFlight(m, "obtained from pool")
+}
+
+// MessageReleased implements types.PoolObserver: releasing a message whose
+// flits are still in flight would alias its blocks between two live
+// messages.
+func (v *Verifier) MessageReleased(m *types.Message) {
+	v.checkNoFlitsInFlight(m, "released to pool")
+}
+
+func (v *Verifier) checkNoFlitsInFlight(m *types.Message, action string) {
+	for _, p := range m.Packets {
+		for _, f := range p.Flits {
+			if _, ok := v.inFlight[f]; ok {
+				v.Panicf("message %d %s while %v is still in the network — pool aliasing",
+					m.ID, action, f)
+			}
+		}
+	}
+}
+
+// ProcessEvent runs the progress watchdog.
+func (v *Verifier) ProcessEvent(ev *sim.Event) {
+	if ev.Type != evWatchdog {
+		v.Panicf("unknown event type %d", ev.Type)
+	}
+	if v.activity == v.lastActivity && len(v.inFlight) > 0 {
+		v.Panicf("no flit movement for %d ticks with %d flits in flight — deadlock or livelock\n%s",
+			v.opts.WatchdogEpoch, len(v.inFlight), v.OccupancyDump())
+	}
+	v.lastActivity = v.activity
+	// Re-arm only while other events are pending: an empty queue (the popped
+	// watchdog event aside) means the simulation is about to drain, and a
+	// perpetual watchdog would keep it alive forever.
+	if v.Sim().Pending() > 0 {
+		v.Sim().Schedule(v, v.Sim().Now().Plus(v.opts.WatchdogEpoch), evWatchdog, nil)
+	}
+}
+
+// OccupancyDump renders every non-empty input buffer and every credit ledger
+// with outstanding credits — the state a deadlock diagnosis starts from.
+func (v *Verifier) OccupancyDump() string {
+	var b strings.Builder
+	b.WriteString("buffer occupancy:\n")
+	for _, bl := range v.buffers {
+		for vc, occ := range bl.occ {
+			if occ > 0 {
+				fmt.Fprintf(&b, "  %s vc %d: %d/%d flits\n", bl.name, vc, occ, bl.cap)
+			}
+		}
+	}
+	b.WriteString("outstanding credits:\n")
+	for _, cl := range v.credits {
+		for vc, c := range cl.mirror {
+			if c != cl.cap {
+				fmt.Fprintf(&b, "  %s vc %d: %d/%d credits held downstream\n", cl.name, vc, cl.cap-c, cl.cap)
+			}
+		}
+	}
+	return b.String()
+}
+
+// VerifyDrained reconciles the global ledgers after the network drains:
+// every injected flit retired, nothing in flight, every credit returned and
+// every tracked buffer empty. The framework calls it from core.Run after the
+// per-component idle checks.
+func (v *Verifier) VerifyDrained() {
+	if len(v.inFlight) != 0 {
+		v.Panicf("drain check: %d flits never retired (injected %d, retired %d)\n%s",
+			len(v.inFlight), v.injected, v.retired, v.OccupancyDump())
+	}
+	if v.injected != v.retired {
+		v.Panicf("drain check: flit conservation violated: %d injected, %d retired",
+			v.injected, v.retired)
+	}
+	for _, cl := range v.credits {
+		for vc, c := range cl.mirror {
+			if c != cl.cap {
+				v.Panicf("drain check: %s vc %d holds %d of %d credits", cl.name, vc, c, cl.cap)
+			}
+		}
+	}
+	for _, bl := range v.buffers {
+		for vc, occ := range bl.occ {
+			if occ != 0 {
+				v.Panicf("drain check: %s vc %d still holds %d flits", bl.name, vc, occ)
+			}
+		}
+	}
+}
