@@ -8,10 +8,13 @@
 #   make fuzz    - short live fuzzing session on the config parsers
 #   make bench   - the paper's table/figure benchmark suite with -benchmem
 #   make micro   - the standalone hot-structure micro-benchmarks
+#   make bench-guard - allocation-regression guard: BenchmarkFigure5 with
+#                  telemetry disabled must stay under the ceiling committed
+#                  in bench_ceiling.txt
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz ci bench micro
+.PHONY: all build vet test race cover fuzz ci bench micro bench-guard
 
 all: ci
 
@@ -42,7 +45,12 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config
 	$(GO) test -run='^$$' -fuzz=FuzzSettingsOverride -fuzztime=10s ./internal/config
 
-ci: build vet test race
+ci: build vet test race bench-guard
+
+# Hot-path allocation guard: the telemetry subsystem's "zero overhead when
+# disabled" claim, enforced. See scripts/bench_guard.sh.
+bench-guard:
+	sh scripts/bench_guard.sh bench_ceiling.txt
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .

@@ -8,6 +8,13 @@
 //
 // Filters are ANDed. The aggregate latency summary prints to stdout; -csv
 // additionally emits the percentile distribution as CSV.
+//
+// With -telemetry the input is a telemetry snapshot stream (JSONL, written by
+// supersim -telemetry-file) instead of a transaction log; records are
+// filtered by component, metric, kind, VC and time range and extracted to
+// CSV:
+//
+//	ssparse -telemetry tel.jsonl +comp=ch_ +metric=chan_flits +t=1000-5000 -csv util.csv
 package main
 
 import (
@@ -28,22 +35,21 @@ func main() {
 
 func run(args []string) error {
 	var path, csvPath string
-	var filters []ssparse.Filter
+	var telemetryMode bool
+	var rawFilters []string
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
 		switch {
 		case strings.HasPrefix(arg, "+"):
-			f, err := ssparse.ParseFilter(arg)
-			if err != nil {
-				return err
-			}
-			filters = append(filters, f)
+			rawFilters = append(rawFilters, arg)
 		case arg == "-csv":
 			i++
 			if i >= len(args) {
 				return fmt.Errorf("-csv requires a file argument")
 			}
 			csvPath = args[i]
+		case arg == "-telemetry":
+			telemetryMode = true
 		case path == "":
 			path = arg
 		default:
@@ -51,7 +57,18 @@ func run(args []string) error {
 		}
 	}
 	if path == "" {
-		return fmt.Errorf("usage: ssparse <log file> [+filter ...] [-csv out.csv]")
+		return fmt.Errorf("usage: ssparse [-telemetry] <log file> [+filter ...] [-csv out.csv]")
+	}
+	if telemetryMode {
+		return runTelemetry(path, rawFilters, csvPath)
+	}
+	var filters []ssparse.Filter
+	for _, raw := range rawFilters {
+		f, err := ssparse.ParseFilter(raw)
+		if err != nil {
+			return err
+		}
+		filters = append(filters, f)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -84,6 +101,58 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote percentile CSV to %s\n", csvPath)
+	}
+	return nil
+}
+
+// runTelemetry extracts and filters telemetry snapshot records.
+func runTelemetry(path string, rawFilters []string, csvPath string) error {
+	var filters []ssparse.TelemetryFilter
+	for _, raw := range rawFilters {
+		f, err := ssparse.ParseTelemetryFilter(raw)
+		if err != nil {
+			return err
+		}
+		filters = append(filters, f)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := ssparse.LoadTelemetry(f, filters)
+	if err != nil {
+		return err
+	}
+	comps := map[string]bool{}
+	metrics := map[string]bool{}
+	var tMin, tMax uint64
+	for i, r := range recs {
+		comps[r.Comp] = true
+		metrics[r.Metric] = true
+		if i == 0 || r.T < tMin {
+			tMin = r.T
+		}
+		if r.T > tMax {
+			tMax = r.T
+		}
+	}
+	fmt.Printf("records:    %d\n", len(recs))
+	if len(recs) == 0 {
+		return nil
+	}
+	fmt.Printf("components: %d  metrics: %d\n", len(comps), len(metrics))
+	fmt.Printf("time range: %d-%d ticks\n", tMin, tMax)
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := ssparse.WriteTelemetryCSV(out, recs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote telemetry CSV to %s\n", csvPath)
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests for the -telemetry extraction mode, against a committed
+// snapshot stream covering counters with scaled rates, a gauge, a histogram
+// and a baseline bin with idle components.
+
+func TestGoldenTelemetryStdout(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-telemetry", filepath.Join("testdata", "telemetry.jsonl")})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_telemetry_stdout.txt"), out)
+}
+
+func TestGoldenTelemetryFiltered(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-telemetry", filepath.Join("testdata", "telemetry.jsonl"),
+			"+comp=ch_", "+metric=chan_flits", "+t=1000-1500"})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_telemetry_filtered.txt"), out)
+}
+
+func TestGoldenTelemetryCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "tel.csv")
+	captureStdout(t, func() error {
+		return run([]string{"-telemetry", filepath.Join("testdata", "telemetry.jsonl"),
+			"+comp=app0", "-csv", csv})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_telemetry.csv"), got)
+}
+
+func TestTelemetryBadFilter(t *testing.T) {
+	err := run([]string{"-telemetry", filepath.Join("testdata", "telemetry.jsonl"), "+bogus=1"})
+	if err == nil {
+		t.Fatal("unknown telemetry filter field did not error")
+	}
+}

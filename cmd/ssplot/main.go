@@ -5,20 +5,28 @@
 // Usage:
 //
 //	ssplot -plot percentile results.log [+filter ...] [-csv out.csv]
+//
+// The chanutil and rates plot kinds read a telemetry snapshot stream (JSONL,
+// written by supersim -telemetry-file) instead of a transaction log:
+// chanutil plots mean and peak channel utilization per snapshot bin, rates
+// plots each application's offered vs. delivered rate (flits per cycle per
+// terminal). Telemetry filters (+comp=, +metric=, +t=lo-hi, ...) apply.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"supersim/internal/ssparse"
 	"supersim/internal/ssplot"
+	"supersim/internal/telemetry"
 )
 
 func main() {
-	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries")
+	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries | chanutil | rates")
 	csvPath := flag.String("csv", "", "also write the series as CSV")
 	binWidth := flag.Uint64("bin", 0, "time series bin width in ticks (default: span/40)")
 	width := flag.Int("width", 70, "ASCII plot width")
@@ -32,14 +40,10 @@ func main() {
 
 func run(plot, csvPath string, binWidth uint64, width, height int, args []string) error {
 	var path string
-	var filters []ssparse.Filter
+	var rawFilters []string
 	for _, arg := range args {
 		if strings.HasPrefix(arg, "+") {
-			f, err := ssparse.ParseFilter(arg)
-			if err != nil {
-				return err
-			}
-			filters = append(filters, f)
+			rawFilters = append(rawFilters, arg)
 			continue
 		}
 		if path != "" {
@@ -49,6 +53,17 @@ func run(plot, csvPath string, binWidth uint64, width, height int, args []string
 	}
 	if path == "" {
 		return fmt.Errorf("usage: ssplot -plot <kind> <log file> [+filter ...]")
+	}
+	if plot == "chanutil" || plot == "rates" {
+		return runTelemetry(plot, path, rawFilters, csvPath, width, height)
+	}
+	var filters []ssparse.Filter
+	for _, raw := range rawFilters {
+		f, err := ssparse.ParseFilter(raw)
+		if err != nil {
+			return err
+		}
+		filters = append(filters, f)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -100,4 +115,134 @@ func run(plot, csvPath string, binWidth uint64, width, height int, args []string
 		}
 	}
 	return nil
+}
+
+// runTelemetry renders the telemetry-backed plot kinds from a snapshot
+// JSONL stream.
+func runTelemetry(plot, path string, rawFilters []string, csvPath string, width, height int) error {
+	var filters []ssparse.TelemetryFilter
+	for _, raw := range rawFilters {
+		f, err := ssparse.ParseTelemetryFilter(raw)
+		if err != nil {
+			return err
+		}
+		filters = append(filters, f)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := ssparse.LoadTelemetry(f, filters)
+	if err != nil {
+		return err
+	}
+	var series []ssplot.Series
+	var title, xl, yl string
+	switch plot {
+	case "chanutil":
+		series = chanUtilSeries(recs)
+		title, xl, yl = "channel utilization", "time (ticks)", "utilization"
+	case "rates":
+		series = rateSeries(recs)
+		title, xl, yl = "offered vs delivered rate", "time (ticks)", "flits/cycle/terminal"
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("no matching telemetry records in %s", path)
+	}
+	ssplot.Plot(os.Stdout, title, xl, yl, series, width, height)
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := ssplot.WriteCSV(out, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chanUtilSeries reduces chan_flits records to mean and peak utilization per
+// snapshot bin. The stream's first bin is a baseline listing every channel,
+// so the mean's denominator is the full channel population — bins that omit
+// an idle channel contribute its zero correctly.
+func chanUtilSeries(recs []telemetry.Record) []ssplot.Series {
+	channels := map[string]bool{}
+	binSum := map[uint64]float64{}
+	binPeak := map[uint64]float64{}
+	for _, r := range recs {
+		if r.Metric != "chan_flits" {
+			continue
+		}
+		channels[r.Comp] = true
+		binSum[r.T] += r.U
+		if r.U > binPeak[r.T] {
+			binPeak[r.T] = r.U
+		}
+	}
+	if len(channels) == 0 {
+		return nil
+	}
+	bins := sortedBins(binSum)
+	mean := ssplot.Series{Label: "mean"}
+	peak := ssplot.Series{Label: "peak"}
+	for _, t := range bins {
+		mean.XY = append(mean.XY, [2]float64{float64(t), binSum[t] / float64(len(channels))})
+		peak.XY = append(peak.XY, [2]float64{float64(t), binPeak[t]})
+	}
+	return []ssplot.Series{mean, peak}
+}
+
+// rateSeries builds one offered and one delivered series per application
+// from the workload's scaled counters, filling bins an app was silent in
+// with zero so the curves stay aligned.
+func rateSeries(recs []telemetry.Record) []ssplot.Series {
+	type key struct{ comp, metric string }
+	vals := map[key]map[uint64]float64{}
+	binSet := map[uint64]float64{}
+	for _, r := range recs {
+		if r.Metric != "offered_flits" && r.Metric != "delivered_flits" {
+			continue
+		}
+		k := key{r.Comp, r.Metric}
+		if vals[k] == nil {
+			vals[k] = map[uint64]float64{}
+		}
+		vals[k][r.T] = r.U
+		binSet[r.T] = 0
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	bins := sortedBins(binSet)
+	keys := make([]key, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].comp != keys[j].comp {
+			return keys[i].comp < keys[j].comp
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	var out []ssplot.Series
+	for _, k := range keys {
+		s := ssplot.Series{Label: k.comp + " " + strings.TrimSuffix(k.metric, "_flits")}
+		for _, t := range bins {
+			s.XY = append(s.XY, [2]float64{float64(t), vals[k][t]})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func sortedBins(m map[uint64]float64) []uint64 {
+	bins := make([]uint64, 0, len(m))
+	for t := range m {
+		bins = append(bins, t)
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
+	return bins
 }

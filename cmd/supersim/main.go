@@ -18,6 +18,14 @@
 // write standard pprof profiles of the run, and -monitor N prints an
 // events/sec + heap usage progress line to stderr every N executed events
 // (also exported through the supersim.* expvar gauges).
+//
+// The telemetry subsystem (see OBSERVABILITY.md) is controlled by flags that
+// map onto simulation.telemetry.* settings: -telemetry enables the metric
+// registry, -telemetry-file <f> writes time-binned JSONL snapshots every
+// -telemetry-bin ticks, -trace <f> writes a Chrome trace-event JSON of flit
+// lifecycles sampled at -trace-sample, and -telemetry-addr <host:port>
+// serves live run introspection (/metrics Prometheus text, /progress JSON,
+// /debug/pprof, /debug/vars) while the simulation executes.
 package main
 
 import (
@@ -41,6 +49,12 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	monitor := flag.Uint64("monitor", 0, "report events/sec and heap every N executed events (0 disables)")
 	verifyRun := flag.Bool("verify", false, "enable runtime invariant verification (flit/credit conservation, aliasing sentinel, progress watchdog)")
+	telemetryOn := flag.Bool("telemetry", false, "enable the telemetry metrics registry")
+	telemetryFile := flag.String("telemetry-file", "", "write time-binned telemetry snapshots (JSONL) to this file (implies -telemetry)")
+	telemetryBin := flag.Uint64("telemetry-bin", 1000, "telemetry snapshot bin width in ticks")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live introspection HTTP on this address (implies -telemetry)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of flit lifecycles to this file (implies -telemetry)")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of messages to trace, 0..1")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: supersim <config.json> [path=type=value ...]")
@@ -59,7 +73,18 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(flag.Arg(0), flag.Args()[1:], *logPath, *quiet, *monitor, *verifyRun)
+	err := run(flag.Arg(0), flag.Args()[1:], runOpts{
+		logPath:       *logPath,
+		quiet:         *quiet,
+		monitor:       *monitor,
+		verify:        *verifyRun,
+		telemetry:     *telemetryOn,
+		telemetryFile: *telemetryFile,
+		telemetryBin:  *telemetryBin,
+		telemetryAddr: *telemetryAddr,
+		tracePath:     *tracePath,
+		traceSample:   *traceSample,
+	})
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
 			err = werr
@@ -81,7 +106,49 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor uint64, verifyRun bool) error {
+// runOpts carries the command-line options into run.
+type runOpts struct {
+	logPath       string
+	quiet         bool
+	monitor       uint64
+	verify        bool
+	telemetry     bool
+	telemetryFile string
+	telemetryBin  uint64
+	telemetryAddr string
+	tracePath     string
+	traceSample   float64
+}
+
+// apply translates the telemetry flags into simulation.telemetry.* settings
+// overrides, the same keys a config file would use.
+func (o *runOpts) apply(cfg *config.Settings) error {
+	if o.verify {
+		if err := cfg.ApplyOverride("simulation.verify.enabled=bool=true"); err != nil {
+			return err
+		}
+	}
+	if o.telemetryFile != "" || o.telemetryAddr != "" || o.tracePath != "" {
+		o.telemetry = true
+	}
+	if !o.telemetry {
+		return nil
+	}
+	ov := []string{
+		"simulation.telemetry.enabled=bool=true",
+		fmt.Sprintf("simulation.telemetry.bin=uint=%d", o.telemetryBin),
+		fmt.Sprintf("simulation.telemetry.trace_sample=float=%g", o.traceSample),
+	}
+	if o.telemetryFile != "" {
+		ov = append(ov, "simulation.telemetry.snapshot_file=string="+o.telemetryFile)
+	}
+	if o.tracePath != "" {
+		ov = append(ov, "simulation.telemetry.trace_file=string="+o.tracePath)
+	}
+	return cfg.ApplyOverrides(ov)
+}
+
+func run(cfgPath string, overrides []string, o runOpts) error {
 	cfg, err := config.LoadFile(cfgPath)
 	if err != nil {
 		return err
@@ -89,19 +156,29 @@ func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor
 	if err := cfg.ApplyOverrides(overrides); err != nil {
 		return err
 	}
-	if verifyRun {
-		if err := cfg.ApplyOverride("simulation.verify.enabled=bool=true"); err != nil {
-			return err
-		}
+	if err := o.apply(cfg); err != nil {
+		return err
 	}
 	sm, err := core.BuildE(cfg)
 	if err != nil {
 		return err
 	}
-	if monitor > 0 {
-		(&sim.ProgressMonitor{Out: os.Stderr}).Attach(sm.Sim, monitor)
+	if o.monitor > 0 {
+		pm := &sim.ProgressMonitor{
+			Out:     os.Stderr,
+			EndTick: sim.Tick(cfg.UIntOr("simulation.monitor_end_tick", 0)),
+		}
+		pm.Attach(sm.Sim, o.monitor)
 	}
-	if !quiet {
+	if o.telemetryAddr != "" && sm.Telemetry != nil {
+		sm.Telemetry.Serve(o.telemetryAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "supersim: telemetry server:", err)
+		})
+		if !o.quiet {
+			fmt.Printf("telemetry: serving http://%s/ (/metrics, /progress, /debug/pprof)\n", o.telemetryAddr)
+		}
+	}
+	if !o.quiet {
 		fmt.Printf("built %d routers, %d terminals, %d channels\n",
 			sm.Net.NumRouters(), sm.Net.NumTerminals(), len(sm.Net.Channels()))
 	}
@@ -109,7 +186,7 @@ func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor
 	if err != nil {
 		return err
 	}
-	if !quiet {
+	if !o.quiet {
 		fmt.Printf("simulation complete: %d events, %d ticks\n", res.Events, res.EndTick)
 		ps := sm.Workload.Pool().Stats()
 		if ps.Gets > 0 {
@@ -118,8 +195,8 @@ func run(cfgPath string, overrides []string, logPath string, quiet bool, monitor
 		}
 	}
 	var logFile *os.File
-	if logPath != "" {
-		logFile, err = os.Create(logPath)
+	if o.logPath != "" {
+		logFile, err = os.Create(o.logPath)
 		if err != nil {
 			return err
 		}

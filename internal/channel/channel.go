@@ -12,6 +12,7 @@ package channel
 
 import (
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 	"supersim/internal/verify"
 )
@@ -40,7 +41,8 @@ type Channel struct {
 	head      int
 	scheduled bool
 
-	v *verify.Verifier // nil unless invariant verification is attached
+	v  *verify.Verifier        // nil unless invariant verification is attached
+	tp *telemetry.ChannelProbe // nil unless telemetry is attached
 }
 
 // New creates a flit channel. latency is the propagation delay in ticks;
@@ -57,6 +59,7 @@ func New(s *sim.Simulator, name string, latency, period sim.Tick) *Channel {
 		latency:       latency,
 		period:        period,
 		v:             verify.For(s),
+		tp:            telemetry.ForChannel(s, name, period),
 	}
 }
 
@@ -109,6 +112,9 @@ func (c *Channel) Inject(f *types.Flit) {
 	}
 	c.nextSlot = now.Tick + c.period
 	c.injected++
+	if c.tp != nil {
+		c.tp.FlitInjected()
+	}
 	f.SendTime = now.Tick
 	at := now.Tick + c.latency
 	c.pending = append(c.pending, flitFlight{at: at, f: f})

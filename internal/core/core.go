@@ -20,6 +20,7 @@ import (
 	"supersim/internal/config"
 	"supersim/internal/network"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/verify"
 	"supersim/internal/workload"
 
@@ -36,10 +37,11 @@ import (
 
 // Simulation is a fully assembled simulation.
 type Simulation struct {
-	Sim      *sim.Simulator
-	Net      network.Network
-	Workload *workload.Workload
-	Verify   *verify.Verifier // nil unless simulation.verify.enabled
+	Sim       *sim.Simulator
+	Net       network.Network
+	Workload  *workload.Workload
+	Verify    *verify.Verifier     // nil unless simulation.verify.enabled
+	Telemetry *telemetry.Telemetry // nil unless simulation.telemetry.enabled
 }
 
 // Build assembles a simulation from the full settings document. It panics
@@ -52,8 +54,14 @@ func Build(cfg *config.Settings) *Simulation {
 	// an events/sec + heap line to stderr (and the supersim.* expvar gauges)
 	// every N executed events. Reporting is observation-only and cannot
 	// perturb determinism.
+	// simulation.monitor_end_tick, when the driver knows the run's horizon,
+	// adds an ETA to each progress line.
 	if mi := cfg.UIntOr("simulation.monitor_interval", 0); mi > 0 {
-		(&sim.ProgressMonitor{Out: os.Stderr}).Attach(s, mi)
+		pm := &sim.ProgressMonitor{
+			Out:     os.Stderr,
+			EndTick: sim.Tick(cfg.UIntOr("simulation.monitor_end_tick", 0)),
+		}
+		pm.Attach(s, mi)
 	}
 	// Opt-in invariant verification: "simulation": {"verify": {"enabled": true}}
 	// attaches the runtime checker before any component is constructed, so
@@ -64,6 +72,32 @@ func Build(cfg *config.Settings) *Simulation {
 			WatchdogEpoch: sim.Tick(cfg.UIntOr("simulation.verify.watchdog_epoch", 100000)),
 		})
 	}
+	// Opt-in telemetry: "simulation": {"telemetry": {"enabled": true, ...}}
+	// attaches the metrics/tracing subsystem before components are built, so
+	// channels, routers, interfaces and the workload pick up their probes via
+	// the telemetry.For* constructors. Like verification it is observation-
+	// only: traffic results are identical with it on or off.
+	var tel *telemetry.Telemetry
+	if cfg.BoolOr("simulation.telemetry.enabled", false) {
+		opts := telemetry.Options{
+			BinTicks: sim.Tick(cfg.UIntOr("simulation.telemetry.bin", 1000)),
+		}
+		if path := cfg.StringOr("simulation.telemetry.snapshot_file", ""); path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				panic(fmt.Sprintf("core: telemetry snapshot file: %v", err))
+			}
+			opts.SnapshotW = f
+		}
+		if path := cfg.StringOr("simulation.telemetry.trace_file", ""); path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				panic(fmt.Sprintf("core: telemetry trace file: %v", err))
+			}
+			opts.Tracer = telemetry.NewTracer(f, cfg.FloatOr("simulation.telemetry.trace_sample", 1.0))
+		}
+		tel = telemetry.Attach(s, opts)
+	}
 	net := network.New(s, cfg.Sub("network"))
 	w := workload.New(s, cfg.Sub("workload"), net)
 	if v != nil {
@@ -71,7 +105,7 @@ func Build(cfg *config.Settings) *Simulation {
 		// pointers (aliasing bugs) are caught by the generation sentinel.
 		w.Pool().SetObserver(v)
 	}
-	return &Simulation{Sim: s, Net: net, Workload: w, Verify: v}
+	return &Simulation{Sim: s, Net: net, Workload: w, Verify: v, Telemetry: tel}
 }
 
 // BuildE is Build with panics recovered into errors.
@@ -96,6 +130,12 @@ type Result struct {
 // drained in an earlier phase, which indicates stalled traffic (for example
 // a deadlock or a misconfigured application).
 func (sm *Simulation) Run() (Result, error) {
+	if sm.Telemetry != nil {
+		// Final snapshot bin, stream flush, and trace termination happen even
+		// when the run errors out — a truncated trace of a stalled run is
+		// exactly what the diagnosis needs.
+		defer sm.Telemetry.Close()
+	}
 	events := sm.Sim.Run()
 	res := Result{
 		Events:  events,

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/ssparse"
+	"supersim/internal/telemetry"
+	"supersim/internal/workload/apps"
+)
+
+// runForSamples builds and runs one simulation from doc (plus overrides) and
+// returns the sampled-transaction log bytes — the full per-message record
+// stream ssparse consumes — plus the flit conservation totals.
+func runForSamples(t *testing.T, doc string, overrides []string) (sampleLog []byte, injected, retired uint64, sm *Simulation) {
+	t.Helper()
+	cfg := config.MustParse(doc)
+	if err := cfg.ApplyOverrides(overrides); err != nil {
+		t.Fatal(err)
+	}
+	sm = Build(cfg)
+	if _, err := sm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	blast := sm.Workload.App(0).(*apps.Blast)
+	var buf bytes.Buffer
+	if err := ssparse.Write(&buf, blast.Stats().Samples()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sm.Verify.Injected(), sm.Verify.Retired(), sm
+}
+
+// TestTelemetryObservationOnly is the end-to-end determinism gate for the
+// telemetry subsystem: the same seeded simulation run with snapshotting and
+// flit tracing fully enabled must produce a byte-identical sampled-transaction
+// log (every message's create/receive times, latencies, and hop counts) and
+// identical flit conservation totals as the run with telemetry disabled.
+//
+// Event counts and the final tick are deliberately NOT compared: telemetry's
+// periodic snapshot is a daemon event, so the executed-event total includes it
+// by design. What must not move is anything the simulation computes.
+func TestTelemetryObservationOnly(t *testing.T) {
+	gc := goldenCases()[0] // torus tornado, verification enabled
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "telemetry.jsonl")
+	tracePath := filepath.Join(dir, "trace.json")
+
+	base, baseInj, baseRet, _ := runForSamples(t, gc.doc, nil)
+	tele, teleInj, teleRet, sm := runForSamples(t, gc.doc, []string{
+		"simulation.telemetry.enabled=bool=true",
+		"simulation.telemetry.bin=uint=250",
+		"simulation.telemetry.snapshot_file=string=" + snapPath,
+		"simulation.telemetry.trace_file=string=" + tracePath,
+		"simulation.telemetry.trace_sample=float=0.5",
+	})
+	if sm.Telemetry == nil {
+		t.Fatal("telemetry run did not attach telemetry")
+	}
+
+	if !bytes.Equal(base, tele) {
+		t.Errorf("sampled-transaction logs differ between telemetry-off (%d bytes) and telemetry-on (%d bytes) runs",
+			len(base), len(tele))
+	}
+	if baseInj != teleInj || baseRet != teleRet {
+		t.Errorf("flit conservation totals differ: off=%d/%d on=%d/%d",
+			baseInj, baseRet, teleInj, teleRet)
+	}
+
+	// The telemetry run must also have produced usable artifacts: a parseable
+	// JSONL stream whose baseline bin covers channels, routers, interfaces and
+	// the workload, and a valid Chrome trace document.
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	metrics := map[string]bool{}
+	records := 0
+	if err := telemetry.ReadRecords(sf, func(rec telemetry.Record) error {
+		metrics[rec.Metric] = true
+		records++
+		return nil
+	}); err != nil {
+		t.Fatalf("snapshot stream unreadable: %v", err)
+	}
+	if records == 0 {
+		t.Fatal("snapshot stream is empty")
+	}
+	for _, m := range []string{"chan_flits", "flits_routed", "iface_flits_sent", "offered_flits", "delivered_flits", "msg_latency"} {
+		if !metrics[m] {
+			t.Errorf("snapshot stream missing metric %q", m)
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events at 50%% sampling")
+	}
+	// Async begin/end events come in pairs: every sampled flit enters and
+	// (by flit conservation) leaves the network.
+	if len(doc.TraceEvents)%2 != 0 {
+		t.Fatalf("trace has %d events, want an even begin/end count", len(doc.TraceEvents))
+	}
+}
+
+// TestTelemetryProgressDoc checks the run-progress document reflects a
+// completed run: final phase "done" and a tick/metric population consistent
+// with the simulation that produced it.
+func TestTelemetryProgressDoc(t *testing.T) {
+	gc := goldenCases()[0]
+	_, _, _, sm := runForSamples(t, gc.doc, []string{
+		"simulation.telemetry.enabled=bool=true",
+		"simulation.telemetry.bin=uint=500",
+	})
+	p := sm.Telemetry.ProgressDoc()
+	if p.Phase != "done" {
+		t.Fatalf("final phase = %q, want done", p.Phase)
+	}
+	if p.Tick == 0 || p.Events == 0 || p.Metrics == 0 {
+		t.Fatalf("progress document not populated: %+v", p)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"supersim/internal/channel"
 	"supersim/internal/config"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 	"supersim/internal/verify"
 )
@@ -59,6 +60,9 @@ type Interface struct {
 	v       *verify.Verifier
 	credLed *verify.CreditLedger
 
+	// telemetry probe, nil unless attached to the simulator
+	tp *telemetry.IfaceProbe
+
 	// statistics
 	flitsSent, flitsReceived uint64
 }
@@ -82,6 +86,7 @@ func New(s *sim.Simulator, name string, id int, cfg *config.Settings, vcs int, c
 		curVC:         -1,
 		checker:       types.NewOrderChecker(id),
 		v:             verify.For(s),
+		tp:            telemetry.ForIface(s, name, id),
 	}
 }
 
@@ -157,6 +162,9 @@ func (n *Interface) SendMessage(m *types.Message) {
 		n.Panicf("message %d has no packets", m.ID)
 	}
 	n.sendQ = append(n.sendQ, m.Packets...)
+	if n.tp != nil {
+		n.tp.QueueDepth(n.QueueDepth())
+	}
 	n.scheduleInject()
 }
 
@@ -230,12 +238,18 @@ func (n *Interface) injectOne() {
 			}
 		}
 		if best < 0 {
+			if n.tp != nil {
+				n.tp.Backpressure()
+			}
 			return // no credits on any legal VC; wait for credit arrival
 		}
 		n.injectRR++
 		n.curVC = best
 	}
 	if n.curVC < 0 || n.downCred[n.curVC] < 1 {
+		if n.tp != nil {
+			n.tp.Backpressure()
+		}
 		return // credit stall mid-packet
 	}
 	if !n.outCh.Available(n.Sim().Now().Tick) {
@@ -258,6 +272,9 @@ func (n *Interface) injectOne() {
 	}
 	n.outCh.Inject(f)
 	n.flitsSent++
+	if n.tp != nil {
+		n.tp.FlitSent(now, f)
+	}
 	if f.Tail {
 		n.popPacket()
 		n.curFlit = 0
@@ -282,6 +299,9 @@ func (n *Interface) popPacket() {
 		n.sendQ = n.sendQ[:copy(n.sendQ, n.sendQ[n.sendHead:])]
 		n.sendHead = 0
 	}
+	if n.tp != nil {
+		n.tp.QueueDepth(n.QueueDepth())
+	}
 }
 
 // ReceiveFlit ejects a flit from the network: the delivery checks run, the
@@ -289,6 +309,9 @@ func (n *Interface) popPacket() {
 func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
 	now := n.Sim().Now().Tick
 	n.flitsReceived++
+	if n.tp != nil {
+		n.tp.FlitReceived(now, f)
+	}
 	if n.v != nil {
 		n.v.FlitRetired(f)
 	}

@@ -9,6 +9,7 @@ import (
 	"supersim/internal/congestion"
 	"supersim/internal/routing"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 	"supersim/internal/verify"
 )
@@ -48,6 +49,9 @@ type base struct {
 	v       *verify.Verifier
 	credLed []*verify.CreditLedger // per output port, mirrors downCred
 	bufLed  []*verify.BufferLedger // per input port, tracks buffer occupancy
+
+	// telemetry probe, nil unless attached to the simulator
+	tp *telemetry.RouterProbe
 
 	pipelineScheduled bool
 
@@ -98,6 +102,7 @@ func newBase(s *sim.Simulator, name string, cfg *config.Settings, p Params) base
 			b.bufLed[port] = b.v.NewBufferLedger(fmt.Sprintf("%s.in%d", name, port), vcs, bufDepth)
 		}
 	}
+	b.tp = telemetry.ForRouter(s, name, vcs)
 	b.sensor = congestion.New(cfg.SubOr("congestion_sensor"), p.Radix, vcs)
 	if p.RoutingCtor == nil {
 		panic("router: routing constructor required")
@@ -207,6 +212,9 @@ func (b *base) noteArrival(port, vc int) {
 	if b.v != nil {
 		b.bufLed[port].Arrive(vc)
 	}
+	if b.tp != nil {
+		b.tp.FlitBuffered(vc)
+	}
 }
 
 // sendCreditUpstream releases one input buffer slot back to the sender.
@@ -218,7 +226,35 @@ func (b *base) sendCreditUpstream(port, vc int) {
 	if b.v != nil {
 		b.bufLed[port].Free(vc)
 	}
+	if b.tp != nil {
+		b.tp.FlitUnbuffered(vc)
+	}
 	cc.Inject(types.Credit{VC: vc})
+}
+
+// noteRouted counts one flit forwarded, in both the router's own statistic
+// and the telemetry registry.
+func (b *base) noteRouted() {
+	b.flitsRouted++
+	if b.tp != nil {
+		b.tp.FlitRouted()
+	}
+}
+
+// noteAlloc reports one VC-allocation round to telemetry given the pending
+// client counts before and after the round.
+func (b *base) noteAlloc(before, after int) {
+	if b.tp != nil && before > 0 {
+		b.tp.Alloc(before-after, after)
+	}
+}
+
+// noteCreditStall counts one cycle in which a flit was ready but the
+// downstream credit pool was empty.
+func (b *base) noteCreditStall() {
+	if b.tp != nil {
+		b.tp.CreditStall()
+	}
 }
 
 // FlitsRouted returns the number of flits this router has forwarded.

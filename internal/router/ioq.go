@@ -222,7 +222,9 @@ func (r *IOQ) pipeline() {
 	progress := false
 	// Stage 1: VC allocation (identical policy to the IQ architecture).
 	var vcProgress bool
+	vcBefore := len(r.vcPending)
 	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
 	// Stage 2: switch allocation against output queue space.
@@ -280,7 +282,7 @@ func (r *IOQ) sendFlit(now sim.Tick, port, client int) {
 	arrive := r.xbar.Start(now, port)
 	r.pushFlight(arrive, f, port)
 	r.sched[port].onSent(client, f.Head, f.Tail)
-	r.flitsRouted++
+	r.noteRouted()
 	if f.Tail {
 		r.holder[port][iv.outVC] = -1
 		iv.outPort, iv.outVC = -1, -1
@@ -297,7 +299,11 @@ func (r *IOQ) drain(port int) {
 	for i := 0; i < r.vcs; i++ {
 		vc := (r.outRR[port] + i) % r.vcs
 		qi := r.client(port, vc)
-		if r.outQ[qi].len() == 0 || r.downCred[port][vc] < 1 {
+		if r.outQ[qi].len() == 0 {
+			continue
+		}
+		if r.downCred[port][vc] < 1 {
+			r.noteCreditStall()
 			continue
 		}
 		f := r.outQ[qi].pop()

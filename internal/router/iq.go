@@ -208,7 +208,9 @@ func (r *IQ) pipeline() {
 	progress := false
 	// Stage 1: VC allocation (the VC scheduler).
 	var vcProgress bool
+	vcBefore := len(r.vcPending)
 	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
 	// Stage 2: switch allocation, one winner per output port.
@@ -251,6 +253,7 @@ func (r *IQ) eligible(now sim.Tick, port, client int) (bool, bool) {
 		need = f.Pkt.Size()
 	}
 	if cred < need {
+		r.noteCreditStall()
 		return false, false
 	}
 	if r.nextChanStart[port] > now+r.xbar.Latency() {
@@ -273,7 +276,7 @@ func (r *IQ) sendFlit(now sim.Tick, port, client int) {
 	r.nextChanStart[port] = arrive + r.chanPeriod
 	r.pushFlight(arrive, f, port)
 	r.sched[port].onSent(client, f.Head, f.Tail)
-	r.flitsRouted++
+	r.noteRouted()
 	if f.Tail {
 		r.holder[port][iv.outVC] = -1
 		iv.outPort, iv.outVC = -1, -1

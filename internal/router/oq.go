@@ -196,7 +196,7 @@ func (r *OQ) pipeline() {
 		r.sensor.AddOutput(now, iv.resp.Port, iv.outVC, 1)
 		r.sendCreditUpstream(clientIdx/r.vcs, clientIdx%r.vcs)
 		r.transfer[clientIdx] = now
-		r.flitsRouted++
+		r.noteRouted()
 		r.pushFlight(now+r.queueLat, f, iv.resp.Port)
 		if f.Tail {
 			r.outOwner[out] = -1
@@ -247,7 +247,11 @@ func (r *OQ) drain(port int) {
 	for i := 0; i < r.vcs; i++ {
 		vc := (r.outRR[port] + i) % r.vcs
 		qi := r.client(port, vc)
-		if r.outQ[qi].len() == 0 || r.downCred[port][vc] < 1 {
+		if r.outQ[qi].len() == 0 {
+			continue
+		}
+		if r.downCred[port][vc] < 1 {
+			r.noteCreditStall()
 			continue
 		}
 		f := r.outQ[qi].pop()

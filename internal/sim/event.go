@@ -18,7 +18,8 @@ type Event struct {
 	Type    int
 	Context any
 
-	seq uint64 // FIFO tiebreak among identical times (determinism)
+	seq    uint64 // FIFO tiebreak among identical times (determinism)
+	daemon bool   // scheduled with ScheduleDaemon; excluded from PendingNonDaemon
 }
 
 // heapEntry stores an event's ordering key inline so heap comparisons touch

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -16,7 +17,9 @@ var (
 	expvarOnce      sync.Once
 	gaugeEvents     *expvar.Int
 	gaugeEventsRate *expvar.Float
+	gaugeTicksRate  *expvar.Float
 	gaugeHeapBytes  *expvar.Int
+	gaugeLiveBytes  *expvar.Int
 	gaugeTick       *expvar.Int
 )
 
@@ -24,31 +27,52 @@ func publishGauges() {
 	expvarOnce.Do(func() {
 		gaugeEvents = expvar.NewInt("supersim.events")
 		gaugeEventsRate = expvar.NewFloat("supersim.events_per_sec")
+		gaugeTicksRate = expvar.NewFloat("supersim.ticks_per_sec")
 		gaugeHeapBytes = expvar.NewInt("supersim.heap_bytes")
+		gaugeLiveBytes = expvar.NewInt("supersim.heap_live_bytes")
 		gaugeTick = expvar.NewInt("supersim.tick")
 	})
 }
 
+// liveHeapSample reads the post-GC live heap from runtime/metrics: unlike
+// MemStats.HeapAlloc (live + not-yet-collected garbage) it answers "how much
+// memory does the simulation actually retain", which is the number perf work
+// on the pooled traffic path cares about.
+var liveHeapSample = []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+
 // ProgressMonitor periodically reports simulation progress: executed events,
 // execution rate (events per wall-clock second since the previous report),
-// the current simulated tick, and live heap bytes. Every report updates the
+// simulated-time rate (ticks per wall-clock second), the current simulated
+// tick, current and post-GC live heap bytes, and — when EndTick is set — an
+// ETA extrapolated from the simulated-time rate. Every report updates the
 // supersim.* expvar gauges; if Out is non-nil, one text line per report is
 // written there as well.
 //
-// The monitor reads the wall clock and runtime.MemStats, but only inside the
-// Monitor callback — it never feeds anything back into the simulation, so
-// determinism is unaffected. Perf work on the simulator should be measured
-// with these hooks (or the -cpuprofile/-memprofile flags of cmd/supersim and
-// `go test -bench`), not guessed.
+// Attach also registers the simulator's MonitorFinish hook, so the final
+// partial interval is reported when Run returns instead of being lost to the
+// interval rounding.
+//
+// The monitor reads the wall clock and runtime heap statistics, but only
+// inside the Monitor callback — it never feeds anything back into the
+// simulation, so determinism is unaffected. Perf work on the simulator
+// should be measured with these hooks (or the -cpuprofile/-memprofile flags
+// of cmd/supersim and `go test -bench`), not guessed.
 type ProgressMonitor struct {
 	Out io.Writer // optional text sink; nil updates expvar gauges only
 
+	// EndTick, when non-zero, is the tick the run is expected to finish at
+	// (known for fixed-horizon RunUntil drives); each report then includes an
+	// ETA computed from the current ticks/sec rate.
+	EndTick Tick
+
 	lastEvents uint64
+	lastTick   Tick
 	lastWall   time.Time
 }
 
 // Attach registers the monitor on s, reporting every interval executed
-// events. It overwrites any previously registered Monitor callback.
+// events and once more when Run returns. It overwrites any previously
+// registered Monitor and MonitorFinish callbacks.
 func (p *ProgressMonitor) Attach(s *Simulator, interval uint64) {
 	if interval == 0 {
 		panic("sim: ProgressMonitor interval must be positive")
@@ -56,26 +80,58 @@ func (p *ProgressMonitor) Attach(s *Simulator, interval uint64) {
 	publishGauges()
 	p.lastWall = time.Now()
 	p.lastEvents = s.Executed()
+	p.lastTick = s.Now().Tick
 	s.MonitorInterval = interval
 	s.Monitor = p.report
+	s.MonitorFinish = p.finish
 }
 
 func (p *ProgressMonitor) report(now Time, executed uint64) {
+	p.emit(now, executed, false)
+}
+
+// finish flushes the last partial interval when the simulator stops; it is
+// skipped when the final event count coincides with the last periodic report
+// (nothing new to say).
+func (p *ProgressMonitor) finish(now Time, executed uint64) {
+	if executed == p.lastEvents {
+		return
+	}
+	p.emit(now, executed, true)
+}
+
+func (p *ProgressMonitor) emit(now Time, executed uint64, final bool) {
 	wall := time.Now()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	rate := 0.0
+	metrics.Read(liveHeapSample)
+	live := liveHeapSample[0].Value.Uint64()
+	evRate, tickRate := 0.0, 0.0
 	if secs := wall.Sub(p.lastWall).Seconds(); secs > 0 {
-		rate = float64(executed-p.lastEvents) / secs
+		evRate = float64(executed-p.lastEvents) / secs
+		tickRate = float64(now.Tick-p.lastTick) / secs
 	}
 	gaugeEvents.Set(int64(executed))
-	gaugeEventsRate.Set(rate)
+	gaugeEventsRate.Set(evRate)
+	gaugeTicksRate.Set(tickRate)
 	gaugeHeapBytes.Set(int64(ms.HeapAlloc))
+	gaugeLiveBytes.Set(int64(live))
 	gaugeTick.Set(int64(now.Tick))
 	if p.Out != nil {
-		fmt.Fprintf(p.Out, "progress: tick=%d events=%d rate=%.0f/s heap=%.1fMiB\n",
-			now.Tick, executed, rate, float64(ms.HeapAlloc)/(1<<20))
+		label := "progress"
+		if final {
+			label = "finished"
+		}
+		fmt.Fprintf(p.Out, "%s: tick=%d events=%d rate=%.0f/s ticks/s=%.0f heap=%.1fMiB live=%.1fMiB",
+			label, now.Tick, executed, evRate, tickRate,
+			float64(ms.HeapAlloc)/(1<<20), float64(live)/(1<<20))
+		if p.EndTick > now.Tick && tickRate > 0 && !final {
+			eta := float64(p.EndTick-now.Tick) / tickRate
+			fmt.Fprintf(p.Out, " eta=%s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+		}
+		fmt.Fprintln(p.Out)
 	}
 	p.lastEvents = executed
+	p.lastTick = now.Tick
 	p.lastWall = wall
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProgressMonitorReportsAndFlushes drives a run long enough for periodic
+// reports plus a final partial interval and checks the emitted lines: periodic
+// lines say "progress", the Run-completion flush says "finished", ETA appears
+// only while EndTick is ahead of the current tick, and the gauges/line fields
+// carry the executed-event and tick values.
+func TestProgressMonitorReportsAndFlushes(t *testing.T) {
+	s := NewSimulator(1)
+	r := &recorder{ComponentBase: NewComponentBase(s, "rec")}
+	for i := 0; i < 25; i++ {
+		s.Schedule(r, Time{Tick: Tick(i + 1)}, i, nil)
+	}
+	var out strings.Builder
+	pm := &ProgressMonitor{Out: &out, EndTick: 1_000_000}
+	pm.Attach(s, 10)
+	if n := s.Run(); n != 25 {
+		t.Fatalf("executed %d events, want 25", n)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// 25 events at interval 10: reports at 10 and 20, final flush at 25.
+	if len(lines) != 3 {
+		t.Fatalf("got %d progress lines, want 3:\n%s", len(lines), out.String())
+	}
+	for i, want := range []string{"progress: tick=10 events=10 ", "progress: tick=20 events=20 ", "finished: tick=25 events=25 "} {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+	}
+	// EndTick is far ahead, so periodic lines carry an ETA; the final flush
+	// never does (the run is over).
+	for _, line := range lines[:2] {
+		if !strings.Contains(line, " eta=") {
+			t.Errorf("periodic line missing eta: %q", line)
+		}
+	}
+	if strings.Contains(lines[2], " eta=") {
+		t.Errorf("final line has eta: %q", lines[2])
+	}
+}
+
+// TestProgressMonitorFinishSkipsDuplicate checks that when the run length is
+// an exact multiple of the interval the completion flush stays silent instead
+// of repeating the last periodic line.
+func TestProgressMonitorFinishSkipsDuplicate(t *testing.T) {
+	s := NewSimulator(1)
+	r := &recorder{ComponentBase: NewComponentBase(s, "rec")}
+	for i := 0; i < 20; i++ {
+		s.Schedule(r, Time{Tick: Tick(i + 1)}, i, nil)
+	}
+	var out strings.Builder
+	pm := &ProgressMonitor{Out: &out}
+	pm.Attach(s, 10)
+	s.Run()
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want 2 (no duplicate flush):\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[1], "progress: tick=20 events=20 ") {
+		t.Errorf("last line = %q, want the tick=20 periodic report", lines[1])
+	}
+}
+
+func TestProgressMonitorZeroIntervalPanics(t *testing.T) {
+	s := NewSimulator(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach with interval 0 did not panic")
+		}
+	}()
+	(&ProgressMonitor{}).Attach(s, 0)
+}

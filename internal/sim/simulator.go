@@ -20,6 +20,7 @@ type Simulator struct {
 	stopped  bool
 	executed uint64
 	seqGen   uint64
+	daemons  int // queued events scheduled with ScheduleDaemon
 	free     []*Event
 	rng      *rand.Rand
 	seed     uint64
@@ -28,11 +29,19 @@ type Simulator struct {
 	Monitor         func(now Time, executed uint64)
 	MonitorInterval uint64
 
-	// verifier is an opaque attachment slot for the invariant-verification
-	// subsystem (internal/verify). It lives here so components can discover
-	// the verifier through the simulator they are built with; sim itself
-	// never inspects it, keeping this package dependency-free.
-	verifier any
+	// MonitorFinish, if non-nil, is invoked once when Run returns (queue
+	// drained or Stop called), so periodic reporters can flush their final
+	// partial interval instead of losing it.
+	MonitorFinish func(now Time, executed uint64)
+
+	// verifier and telemetry are opaque attachment slots for the
+	// invariant-verification subsystem (internal/verify) and the metrics/
+	// tracing subsystem (internal/telemetry). They live here so components
+	// can discover the attachments through the simulator they are built
+	// with; sim itself never inspects them, keeping this package
+	// dependency-free.
+	verifier  any
+	telemetry any
 }
 
 // NewSimulator creates a simulator with the given PRNG seed.
@@ -61,17 +70,44 @@ func (s *Simulator) SetVerifier(v any) { s.verifier = v }
 // Verifier returns the attached verification object, or nil.
 func (s *Simulator) Verifier() any { return s.verifier }
 
+// SetTelemetry attaches an opaque telemetry object to the simulator. It is
+// set once, before components are built (see internal/telemetry.Attach).
+func (s *Simulator) SetTelemetry(t any) { s.telemetry = t }
+
+// Telemetry returns the attached telemetry object, or nil.
+func (s *Simulator) Telemetry() any { return s.telemetry }
+
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently queued.
 func (s *Simulator) Pending() int { return s.queue.len() }
 
+// PendingNonDaemon returns the number of queued events that were not
+// scheduled with ScheduleDaemon — the events that represent real simulation
+// work. Periodic observers (watchdogs, telemetry snapshots) use it to decide
+// whether to re-arm: re-arming while only daemon events remain would keep
+// the simulation alive forever, and two daemons checking Pending would keep
+// each other alive.
+func (s *Simulator) PendingNonDaemon() int { return s.queue.len() - s.daemons }
+
 // Schedule enqueues an event for the handler at the given time with a type
 // tag and context pointer. The time must not be in the past; scheduling at
 // the current (tick, epsilon) is also rejected because execution order would
 // be ambiguous with respect to the running event.
 func (s *Simulator) Schedule(h Handler, t Time, typ int, ctx any) {
+	s.schedule(h, t, typ, ctx, false)
+}
+
+// ScheduleDaemon enqueues an event that does not count as simulation work:
+// it is excluded from PendingNonDaemon. Observation-only periodic components
+// (the verify watchdog, telemetry snapshots) schedule with this so their
+// self-re-arming never extends the life of a drained simulation.
+func (s *Simulator) ScheduleDaemon(h Handler, t Time, typ int, ctx any) {
+	s.schedule(h, t, typ, ctx, true)
+}
+
+func (s *Simulator) schedule(h Handler, t Time, typ int, ctx any, daemon bool) {
 	if h == nil {
 		panic("sim: Schedule with nil handler")
 	}
@@ -89,6 +125,10 @@ func (s *Simulator) Schedule(h Handler, t Time, typ int, ctx any) {
 	e.Handler = h
 	e.Type = typ
 	e.Context = ctx
+	e.daemon = daemon
+	if daemon {
+		s.daemons++
+	}
 	s.seqGen++
 	e.seq = s.seqGen // FIFO tiebreak among identical times
 	s.queue.push(e)
@@ -112,6 +152,10 @@ func (s *Simulator) Run() uint64 {
 		if e.Time.Before(s.now) {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
 		}
+		if e.daemon {
+			s.daemons--
+			e.daemon = false
+		}
 		s.now = e.Time
 		h := e.Handler
 		s.executed++
@@ -124,6 +168,9 @@ func (s *Simulator) Run() uint64 {
 		}
 	}
 	s.running = false
+	if s.MonitorFinish != nil {
+		s.MonitorFinish(s.now, s.executed)
+	}
 	return s.executed - start
 }
 
@@ -143,6 +190,10 @@ func (s *Simulator) RunUntil(tick Tick) uint64 {
 		e = s.queue.pop()
 		if e.Time.Before(s.now) {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
+		}
+		if e.daemon {
+			s.daemons--
+			e.daemon = false
 		}
 		s.now = e.Time
 		h := e.Handler

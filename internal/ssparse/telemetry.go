@@ -1,0 +1,94 @@
+package ssparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"supersim/internal/telemetry"
+)
+
+// Telemetry JSONL support: the snapshot stream written by the telemetry
+// subsystem (simulation.telemetry.snapshot_file / -telemetry-file) is read
+// back here with the same +field=value filter idiom as transaction logs, for
+// extraction into CSV and for ssplot's telemetry plot kinds.
+//
+// Supported filters:
+//
+//	+comp=<prefix>   keep components whose name starts with the prefix
+//	+metric=<name>   keep one metric by exact name
+//	+kind=<kind>     keep counter | gauge | hist records
+//	+vc=<n>          keep one VC index
+//	+t=<lo>-<hi>     keep bins whose end tick is in [lo, hi]
+//
+// Filters are ANDed, matching the transaction-log behavior.
+
+// TelemetryFilter is a predicate over one snapshot record.
+type TelemetryFilter func(telemetry.Record) bool
+
+// ParseTelemetryFilter parses one +field=value expression.
+func ParseTelemetryFilter(expr string) (TelemetryFilter, error) {
+	body, ok := strings.CutPrefix(expr, "+")
+	if !ok {
+		return nil, fmt.Errorf("ssparse: filter %q must start with '+'", expr)
+	}
+	field, val, ok := strings.Cut(body, "=")
+	if !ok {
+		return nil, fmt.Errorf("ssparse: filter %q must be +field=value", expr)
+	}
+	switch field {
+	case "comp":
+		return func(r telemetry.Record) bool { return strings.HasPrefix(r.Comp, val) }, nil
+	case "metric":
+		return func(r telemetry.Record) bool { return r.Metric == val }, nil
+	case "kind":
+		return func(r telemetry.Record) bool { return r.Kind == val }, nil
+	case "vc":
+		vc, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("ssparse: filter %q: %v", expr, err)
+		}
+		return func(r telemetry.Record) bool { return r.VC == vc }, nil
+	case "t":
+		lo, hi, err := parseRange(val)
+		if err != nil {
+			return nil, fmt.Errorf("ssparse: filter %q: %v", expr, err)
+		}
+		return func(r telemetry.Record) bool { return r.T >= lo && r.T <= hi }, nil
+	}
+	return nil, fmt.Errorf("ssparse: unknown telemetry filter field %q (have comp, metric, kind, vc, t)", field)
+}
+
+// LoadTelemetry reads a telemetry JSONL stream and returns the records
+// passing every filter, in file order.
+func LoadTelemetry(r io.Reader, filters []TelemetryFilter) ([]telemetry.Record, error) {
+	var out []telemetry.Record
+	err := telemetry.ReadRecords(r, func(rec telemetry.Record) error {
+		for _, f := range filters {
+			if !f(rec) {
+				return nil
+			}
+		}
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// WriteTelemetryCSV emits records as CSV with a header row, one line per
+// record, suitable for spreadsheet or pandas analysis.
+func WriteTelemetryCSV(w io.Writer, recs []telemetry.Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t,comp,metric,kind,vc,value,delta,rate,mean"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s,%s,%d,%g,%g,%g,%g\n",
+			r.T, r.Comp, r.Metric, r.Kind, r.VC, r.V, r.D, r.U, r.M); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

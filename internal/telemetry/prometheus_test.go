@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the Prometheus text exposition byte-for-byte
+// against a committed golden file: the metric name prefix, label set, TYPE
+// lines, sparse histogram buckets with cumulative counts, and sort order are
+// all part of the format contract scrapers depend on. Regenerate after an
+// intentional format change with:
+//
+//	SUPERSIM_UPDATE_GOLDEN=1 go test ./internal/telemetry -run TestPrometheusGolden
+func TestPrometheusGolden(t *testing.T) {
+	r := newRegistry()
+	r.Counter("chan_flits", "ch_r0p0_r1p0", -1, 2).Add(42)
+	r.Counter("chan_flits", "ch_t0_r0p0", -1, 2) // idle channel: zero sample
+	r.Gauge("vc_occupancy", "router_0", 0).Set(3)
+	r.Gauge("vc_occupancy", "router_0", 1).Set(-1)
+	h := r.Histogram("msg_latency", "app0", -1)
+	for _, v := range []uint64{0, 1, 5, 5, 30, 1000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("SUPERSIM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with SUPERSIM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// collect runs one snapshot bin and decodes the emitted records.
+func collect(t *testing.T, r *Registry, tick, bin uint64, baseline bool) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := r.snapshot(enc, tick, bin, baseline); err != nil {
+		t.Fatal(err)
+	}
+	var out []Record
+	if err := ReadRecords(&buf, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSnapshotBaselineAndDeltas checks the stream contract: the baseline bin
+// emits every registered metric (including idle ones, so consumers learn the
+// component population), later bins emit only metrics that changed, and
+// counter records carry per-bin deltas plus the scaled rate U.
+func TestSnapshotBaselineAndDeltas(t *testing.T) {
+	r := newRegistry()
+	// Channel counter with scale = period 2: U = delta*2/bin.
+	ch := r.Counter("chan_flits", "ch0", -1, 2)
+	r.Counter("chan_flits", "ch1", -1, 2) // idle channel
+	occ := r.Gauge("vc_occupancy", "r0", 0)
+	lat := r.Histogram("msg_latency", "app0", -1)
+
+	ch.Add(100)
+	occ.Set(4)
+	lat.Observe(10)
+	lat.Observe(30)
+
+	base := collect(t, r, 500, 500, true)
+	if len(base) != 4 {
+		t.Fatalf("baseline bin emitted %d records, want all 4", len(base))
+	}
+	byComp := map[string]Record{}
+	for _, rec := range base {
+		if rec.T != 500 {
+			t.Fatalf("record tick = %d, want 500", rec.T)
+		}
+		byComp[rec.Comp+"/"+rec.Metric] = rec
+	}
+	got := byComp["ch0/chan_flits"]
+	if got.V != 100 || got.D != 100 || got.U != 100*2.0/500 {
+		t.Fatalf("ch0 record = %+v, want v=100 d=100 u=0.4", got)
+	}
+	if got := byComp["ch1/chan_flits"]; got.V != 0 || got.D != 0 || got.U != 0 {
+		t.Fatalf("idle channel baseline = %+v, want zeros", got)
+	}
+	if got := byComp["r0/vc_occupancy"]; got.V != 4 || got.D != 4 || got.VC != 0 {
+		t.Fatalf("gauge baseline = %+v, want v=4 d=4 vc=0", got)
+	}
+	if got := byComp["app0/msg_latency"]; got.V != 2 || got.M != 20 {
+		t.Fatalf("histogram baseline = %+v, want count=2 mean=20", got)
+	}
+
+	// Quiet bin: nothing changed, nothing emitted.
+	if recs := collect(t, r, 1000, 500, false); len(recs) != 0 {
+		t.Fatalf("quiet bin emitted %d records, want 0", len(recs))
+	}
+
+	// Active bin: only the two metrics that moved appear, with bin-local
+	// deltas (not cumulative ones).
+	ch.Add(50)
+	occ.Add(-3)
+	recs := collect(t, r, 1500, 500, false)
+	if len(recs) != 2 {
+		t.Fatalf("active bin emitted %d records, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		switch rec.Comp {
+		case "ch0":
+			if rec.V != 150 || rec.D != 50 || rec.U != 50*2.0/500 {
+				t.Fatalf("ch0 delta record = %+v, want v=150 d=50 u=0.2", rec)
+			}
+		case "r0":
+			if rec.V != 1 || rec.D != -3 {
+				t.Fatalf("gauge delta record = %+v, want v=1 d=-3", rec)
+			}
+		default:
+			t.Fatalf("unexpected record in active bin: %+v", rec)
+		}
+	}
+}
+
+// TestSnapshotOrderDeterministic verifies records within a bin come out in
+// sorted (metric, component, vc) order regardless of registration order.
+func TestSnapshotOrderDeterministic(t *testing.T) {
+	r := newRegistry()
+	for _, comp := range []string{"z9", "a0", "m5"} {
+		r.Counter("flits_routed", comp, -1, 0).Inc()
+	}
+	recs := collect(t, r, 100, 100, true)
+	var comps []string
+	for _, rec := range recs {
+		comps = append(comps, rec.Comp)
+	}
+	if strings.Join(comps, ",") != "a0,m5,z9" {
+		t.Fatalf("record order = %v, want sorted components", comps)
+	}
+}
+
+func TestReadRecordsMalformedLine(t *testing.T) {
+	in := strings.NewReader("{\"t\":1,\"comp\":\"c\",\"metric\":\"m\",\"kind\":\"counter\",\"vc\":-1,\"v\":1,\"d\":1}\nnot json\n")
+	err := ReadRecords(in, func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-numbered parse error", err)
+	}
+}

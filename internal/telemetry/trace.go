@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+// Tracer emits flit-lifecycle events in Chrome trace-event JSON (the format
+// read by chrome://tracing and Perfetto). Each sampled flit becomes one async
+// event pair: "b" (begin) when the flit enters the network at its source
+// interface, "e" (end) when it is delivered at the destination. Events are
+// keyed by id "msg.pkt.flit", grouped with pid = application index and
+// tid = source terminal, with ts in simulated ticks (rendered as µs by the
+// viewers).
+//
+// Sampling is per message, decided by a multiplicative hash of the message ID
+// against a fixed threshold — never by the simulation PRNG — so enabling or
+// resizing the trace cannot perturb simulation results, and all flits of a
+// message are either all traced or all skipped (the viewer sees complete
+// message lifetimes).
+type Tracer struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         io.Closer
+	threshold uint64 // sample iff top 16 hash bits < threshold
+	events    uint64
+	started   bool
+}
+
+// NewTracer writes Chrome trace JSON to w, sampling the given fraction of
+// messages (clamped to [0,1]; 1 traces everything). If w also implements
+// io.Closer, Close closes it.
+func NewTracer(w io.Writer, fraction float64) *Tracer {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	t := &Tracer{
+		w:         bufio.NewWriterSize(w, 1<<16),
+		threshold: uint64(fraction * 65536),
+	}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Sampled reports whether the message with the given ID is traced. The
+// decision is a pure function of the ID, so both endpoints of a flit's
+// journey agree without coordination.
+func (t *Tracer) Sampled(msgID uint64) bool {
+	h := msgID * 0x9E3779B97F4A7C15 // Fibonacci hashing; top bits well mixed
+	return h>>48 < t.threshold
+}
+
+// Events returns the number of trace events emitted so far.
+func (t *Tracer) Events() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+func (t *Tracer) emit(ph string, now sim.Tick, f *types.Flit, tid int) {
+	m := f.Pkt.Msg
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.w.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+		t.started = true
+	} else {
+		t.w.WriteString(",\n")
+	}
+	fmt.Fprintf(t.w,
+		`{"ph":%q,"cat":"flit","name":"flit","id":"%d.%d.%d","pid":%d,"tid":%d,"ts":%d}`,
+		ph, m.ID, f.Pkt.ID, f.ID, m.App, tid, now)
+	t.events++
+}
+
+// FlitSent records a sampled flit entering the network at source terminal
+// src. Callers check Sampled first.
+func (t *Tracer) FlitSent(now sim.Tick, f *types.Flit, src int) {
+	t.emit("b", now, f, src)
+}
+
+// FlitReceived records a sampled flit delivered at its destination. The tid
+// repeats the source terminal so begin/end pair on the same track.
+func (t *Tracer) FlitReceived(now sim.Tick, f *types.Flit, src int) {
+	t.emit("e", now, f, src)
+}
+
+// Close terminates the JSON document, flushes, and closes the underlying
+// writer when it is closable. Safe to call with no events emitted.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.w.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	}
+	t.w.WriteString("\n]}\n")
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"supersim/internal/types"
+)
+
+func testFlit(msgID uint64, app, pkt, flit int) *types.Flit {
+	m := &types.Message{ID: msgID, App: app}
+	p := &types.Packet{Msg: m, ID: pkt}
+	return &types.Flit{Pkt: p, ID: flit}
+}
+
+// TestTracerSampling pins the sampling contract: fraction 1 traces every
+// message, fraction 0 traces none, intermediate fractions are a deterministic
+// pure function of the message ID (both endpoints agree without coordination,
+// and re-runs make identical decisions), and the observed rate is near the
+// requested fraction.
+func TestTracerSampling(t *testing.T) {
+	all := NewTracer(&bytes.Buffer{}, 1)
+	none := NewTracer(&bytes.Buffer{}, 0)
+	quarter := NewTracer(&bytes.Buffer{}, 0.25)
+	quarter2 := NewTracer(&bytes.Buffer{}, 0.25)
+	sampled := 0
+	for id := uint64(0); id < 4096; id++ {
+		if !all.Sampled(id) {
+			t.Fatalf("fraction 1 skipped message %d", id)
+		}
+		if none.Sampled(id) {
+			t.Fatalf("fraction 0 sampled message %d", id)
+		}
+		if quarter.Sampled(id) != quarter2.Sampled(id) {
+			t.Fatalf("sampling decision for message %d not deterministic", id)
+		}
+		if quarter.Sampled(id) {
+			sampled++
+		}
+	}
+	// The multiplicative hash should land within a few percent of 25% over 4k
+	// consecutive IDs; a wide tolerance keeps this robust, it only has to
+	// catch gross breakage (always/never/inverted).
+	if sampled < 4096/8 || sampled > 4096/2 {
+		t.Fatalf("fraction 0.25 sampled %d of 4096 messages", sampled)
+	}
+}
+
+// TestTracerOutput validates the emitted document is well-formed Chrome
+// trace JSON with paired begin/end events carrying the msg.pkt.flit id.
+func TestTracerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 1)
+	f := testFlit(7, 1, 0, 2)
+	tr.FlitSent(10, f, 3)
+	tr.FlitReceived(25, f, 3)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("events = %d, want 2", tr.Events())
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+			ID  string `json:"id"`
+			Pid int    `json:"pid"`
+			Tid int    `json:"tid"`
+			Ts  uint64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	b, e := doc.TraceEvents[0], doc.TraceEvents[1]
+	if b.Ph != "b" || e.Ph != "e" {
+		t.Fatalf("phases = %q, %q, want b, e", b.Ph, e.Ph)
+	}
+	if b.ID != "7.0.2" || e.ID != "7.0.2" {
+		t.Fatalf("ids = %q, %q, want 7.0.2 for both", b.ID, e.ID)
+	}
+	if b.Pid != 1 || b.Tid != 3 || b.Ts != 10 || e.Ts != 25 {
+		t.Fatalf("unexpected event fields: begin=%+v end=%+v", b, e)
+	}
+}
+
+// TestTracerEmptyClose makes sure a tracer that never sampled anything still
+// produces a valid (empty) trace document.
+func TestTracerEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("empty trace has unexpected events: %v", doc["traceEvents"])
+	}
+}

@@ -91,7 +91,7 @@ func Attach(s *sim.Simulator, opts Options) *Verifier {
 	s.SetVerifier(v)
 	if opts.WatchdogEpoch > 0 {
 		v.watchdogOn = true
-		s.Schedule(v, sim.Time{Tick: opts.WatchdogEpoch}, evWatchdog, nil)
+		s.ScheduleDaemon(v, sim.Time{Tick: opts.WatchdogEpoch}, evWatchdog, nil)
 	}
 	return v
 }
@@ -192,11 +192,12 @@ func (v *Verifier) ProcessEvent(ev *sim.Event) {
 			v.opts.WatchdogEpoch, len(v.inFlight), v.OccupancyDump())
 	}
 	v.lastActivity = v.activity
-	// Re-arm only while other events are pending: an empty queue (the popped
-	// watchdog event aside) means the simulation is about to drain, and a
-	// perpetual watchdog would keep it alive forever.
-	if v.Sim().Pending() > 0 {
-		v.Sim().Schedule(v, v.Sim().Now().Plus(v.opts.WatchdogEpoch), evWatchdog, nil)
+	// Re-arm only while non-daemon events are pending: a queue holding only
+	// daemon events (this watchdog, telemetry snapshots) means the simulation
+	// is about to drain, and a perpetual watchdog would keep it alive forever
+	// — or worse, two daemons counting each other would.
+	if v.Sim().PendingNonDaemon() > 0 {
+		v.Sim().ScheduleDaemon(v, v.Sim().Now().Plus(v.opts.WatchdogEpoch), evWatchdog, nil)
 	}
 }
 

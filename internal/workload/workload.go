@@ -29,6 +29,7 @@ import (
 	"supersim/internal/factory"
 	"supersim/internal/network"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 )
 
@@ -96,6 +97,9 @@ type Workload struct {
 	msgID uint64
 	pool  *types.Pool
 
+	// telemetry probe, nil unless attached to the simulator
+	tp *telemetry.WorkloadProbe
+
 	// PhaseTimes records when each phase began (tick), indexed by Phase.
 	PhaseTimes [4]sim.Tick
 }
@@ -128,6 +132,9 @@ func New(s *sim.Simulator, cfg *config.Settings, net network.Network) *Workload 
 	}
 	for t := 0; t < net.NumTerminals(); t++ {
 		net.Interface(t).SetMessageSink(&demux{w: w})
+	}
+	if w.tp = telemetry.ForWorkload(s, len(w.apps), net.NumTerminals(), net.ChannelPeriod()); w.tp != nil {
+		w.tp.Phase(Warming.String())
 	}
 	return w
 }
@@ -175,6 +182,9 @@ func (w *Workload) SetPool(p *types.Pool) {
 // allocation-free.
 func (w *Workload) NewMessage(app, src, dst, totalFlits, maxPacketSize int) *types.Message {
 	w.msgID++
+	if w.tp != nil {
+		w.tp.MessageOffered(app, totalFlits)
+	}
 	return w.pool.NewMessage(w.msgID, app, src, dst, totalFlits, maxPacketSize)
 }
 
@@ -229,6 +239,9 @@ func (w *Workload) signal(app int, want Phase, flags []bool, advance func()) {
 	if w.pending == 0 {
 		w.pending = len(w.apps)
 		advance()
+		if w.tp != nil {
+			w.tp.Phase(w.phase.String())
+		}
 	}
 }
 
@@ -244,6 +257,9 @@ type demux struct {
 func (d *demux) DeliverMessage(m *types.Message) {
 	if m.App < 0 || m.App >= len(d.w.apps) {
 		panic(fmt.Sprintf("workload: message %d from unknown application %d", m.ID, m.App))
+	}
+	if tp := d.w.tp; tp != nil {
+		tp.MessageDelivered(m.App, m.TotalFlits(), m.ReceiveTime-m.CreateTime)
 	}
 	d.w.apps[m.App].DeliverMessage(m)
 	d.w.pool.Release(m)

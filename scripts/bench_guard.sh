@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench_guard.sh [ceiling-file]
+#
+# Allocation-regression guard for the traffic hot path: runs BenchmarkFigure5
+# (the paper's end-to-end load/latency sweep point) with telemetry disabled and
+# fails if allocs/op exceeds the committed ceiling in bench_ceiling.txt.
+#
+# The ceiling is the contract behind the telemetry subsystem's "zero overhead
+# when disabled" claim: probe hooks in the flit path must stay behind nil
+# checks that the benchmark proves allocate nothing. Lower the ceiling when an
+# optimization lands; raising it needs a justification in the PR.
+set -eu
+
+ceiling_file=${1:-bench_ceiling.txt}
+go=${GO:-go}
+
+ceiling=$(awk '!/^[ \t]*(#|$)/ { print $1; exit }' "$ceiling_file")
+if [ -z "$ceiling" ]; then
+    echo "bench-guard: no ceiling found in $ceiling_file" >&2
+    exit 2
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+"$go" test -run='^$' -bench='BenchmarkFigure5$' -benchtime=1x -benchmem . | tee "$out"
+
+allocs=$(awk '/^BenchmarkFigure5/ { for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")
+if [ -z "$allocs" ]; then
+    echo "bench-guard: BenchmarkFigure5 produced no allocs/op line" >&2
+    exit 2
+fi
+
+if [ "$allocs" -gt "$ceiling" ]; then
+    echo "bench-guard: FAIL — BenchmarkFigure5 allocated $allocs/op, ceiling is $ceiling/op (bench_ceiling.txt)" >&2
+    exit 1
+fi
+echo "bench-guard: OK — $allocs allocs/op <= ceiling $ceiling"
