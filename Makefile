@@ -11,10 +11,12 @@
 #   make bench-guard - allocation-regression guard: BenchmarkFigure5 with
 #                  telemetry disabled must stay under the ceiling committed
 #                  in bench_ceiling.txt
+#   make bench-guard-spans - the guard plus an informational run of the
+#                  span-instrumented BenchmarkFigure5Spans (never enforced)
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz ci bench micro bench-guard
+.PHONY: all build vet test race cover fuzz ci bench micro bench-guard bench-guard-spans
 
 all: ci
 
@@ -51,6 +53,11 @@ ci: build vet test race bench-guard
 # disabled" claim, enforced. See scripts/bench_guard.sh.
 bench-guard:
 	sh scripts/bench_guard.sh bench_ceiling.txt
+
+# Same guard, plus the span-instrumented variant for overhead measurement
+# (reported informationally, recorded in EXPERIMENTS.md; not part of ci).
+bench-guard-spans:
+	sh scripts/bench_guard.sh bench_ceiling.txt spans
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .

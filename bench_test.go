@@ -78,6 +78,23 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure5Spans runs the same transient with span recording enabled
+// at full sampling (fold-only, no JSONL stream) — the instrumented
+// counterpart of the bench-guard's disabled-path BenchmarkFigure5. Run via
+// `make bench-guard-spans`; the guard reports it informationally and only
+// enforces the disabled-path ceiling.
+func BenchmarkFigure5Spans(b *testing.B) {
+	o := opts(b)
+	o.SpansSample = 1.0
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5(o)
+		if r.PulsePeak <= r.BlastMean {
+			b.Fatalf("pulse did not disturb blast: peak %.1f vs mean %.1f",
+				r.PulsePeak, r.BlastMean)
+		}
+	}
+}
+
 // BenchmarkFigure7 regenerates the percentile distribution plot (Figure 7).
 func BenchmarkFigure7(b *testing.B) {
 	o := opts(b)

@@ -15,6 +15,12 @@
 // CSV:
 //
 //	ssparse -telemetry tel.jsonl +comp=ch_ +metric=chan_flits +t=1000-5000 -csv util.csv
+//
+// With -spans the input is a latency-decomposition stream (spans JSONL,
+// written by supersim -spans); the per-app per-hop component breakdown prints
+// as a stacked table, and -csv emits one (app, hop, component) row per cell:
+//
+//	ssparse -spans spans.jsonl -csv breakdown.csv
 package main
 
 import (
@@ -35,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	var path, csvPath string
-	var telemetryMode bool
+	var telemetryMode, spansMode bool
 	var rawFilters []string
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
@@ -50,6 +56,8 @@ func run(args []string) error {
 			csvPath = args[i]
 		case arg == "-telemetry":
 			telemetryMode = true
+		case arg == "-spans":
+			spansMode = true
 		case path == "":
 			path = arg
 		default:
@@ -57,10 +65,16 @@ func run(args []string) error {
 		}
 	}
 	if path == "" {
-		return fmt.Errorf("usage: ssparse [-telemetry] <log file> [+filter ...] [-csv out.csv]")
+		return fmt.Errorf("usage: ssparse [-telemetry|-spans] <log file> [+filter ...] [-csv out.csv]")
+	}
+	if telemetryMode && spansMode {
+		return fmt.Errorf("-telemetry and -spans are mutually exclusive")
 	}
 	if telemetryMode {
 		return runTelemetry(path, rawFilters, csvPath)
+	}
+	if spansMode {
+		return runSpans(path, rawFilters, csvPath)
 	}
 	var filters []ssparse.Filter
 	for _, raw := range rawFilters {
@@ -101,6 +115,39 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote percentile CSV to %s\n", csvPath)
+	}
+	return nil
+}
+
+// runSpans aggregates a spans JSONL stream (supersim -spans) into the per-app
+// per-hop latency decomposition: a stacked table on stdout and, with -csv,
+// one (app, hop, component) row per distribution cell.
+func runSpans(path string, rawFilters []string, csvPath string) error {
+	if len(rawFilters) > 0 {
+		return fmt.Errorf("+filters are not supported with -spans (the stream is already per-app)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	agg, err := ssparse.LoadSpans(f)
+	if err != nil {
+		return err
+	}
+	if err := agg.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := agg.WriteSpansCSV(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote spans CSV to %s\n", csvPath)
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests for the -spans latency-decomposition mode, against a committed
+// stream from the OBSERVABILITY.md worked example: a congested tornado on a
+// 4x4 torus (testdata/spans_example.json), regenerated with
+//
+//	go run ./cmd/supersim -quiet -spans cmd/ssparse/testdata/spans.jsonl \
+//	    -spans-sample 0.25 cmd/ssparse/testdata/spans_example.json
+
+func TestGoldenSpansStdout(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-spans", filepath.Join("testdata", "spans.jsonl")})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_spans_stdout.txt"), out)
+}
+
+func TestGoldenSpansCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "spans.csv")
+	captureStdout(t, func() error {
+		return run([]string{"-spans", filepath.Join("testdata", "spans.jsonl"), "-csv", csv})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_spans.csv"), got)
+}
+
+func TestSpansRejectsFilters(t *testing.T) {
+	if err := run([]string{"-spans", filepath.Join("testdata", "spans.jsonl"), "+app=0"}); err == nil {
+		t.Fatal("-spans with +filters did not error")
+	}
+}
+
+func TestSpansTelemetryExclusive(t *testing.T) {
+	if err := run([]string{"-spans", "-telemetry", filepath.Join("testdata", "spans.jsonl")}); err == nil {
+		t.Fatal("-spans with -telemetry did not error")
+	}
+}
+
+func TestSpansRejectsWrongStream(t *testing.T) {
+	// A telemetry snapshot stream is not a spans stream: the header check
+	// must reject it rather than misparse.
+	if err := run([]string{"-spans", filepath.Join("testdata", "telemetry.jsonl")}); err == nil {
+		t.Fatal("telemetry stream accepted as spans stream")
+	}
+}

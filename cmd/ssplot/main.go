@@ -11,6 +11,11 @@
 // chanutil plots mean and peak channel utilization per snapshot bin, rates
 // plots each application's offered vs. delivered rate (flits per cycle per
 // terminal). Telemetry filters (+comp=, +metric=, +t=lo-hi, ...) apply.
+//
+// The breakdown plot kind reads a latency-decomposition stream (spans JSONL,
+// written by supersim -spans) and renders each application's per-hop pipeline
+// component breakdown as stacked ASCII bars on a shared scale; -csv emits the
+// full (app, hop, component) aggregation.
 package main
 
 import (
@@ -26,7 +31,7 @@ import (
 )
 
 func main() {
-	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries | chanutil | rates")
+	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries | chanutil | rates | breakdown")
 	csvPath := flag.String("csv", "", "also write the series as CSV")
 	binWidth := flag.Uint64("bin", 0, "time series bin width in ticks (default: span/40)")
 	width := flag.Int("width", 70, "ASCII plot width")
@@ -56,6 +61,9 @@ func run(plot, csvPath string, binWidth uint64, width, height int, args []string
 	}
 	if plot == "chanutil" || plot == "rates" {
 		return runTelemetry(plot, path, rawFilters, csvPath, width, height)
+	}
+	if plot == "breakdown" {
+		return runBreakdown(path, rawFilters, csvPath, width)
 	}
 	var filters []ssparse.Filter
 	for _, raw := range rawFilters {
@@ -111,6 +119,110 @@ func run(plot, csvPath string, binWidth uint64, width, height int, args []string
 		}
 		defer out.Close()
 		if err := ssplot.WriteCSV(out, []ssplot.Series{series}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// breakdownSeg is one component segment of a stacked breakdown bar.
+type breakdownSeg struct {
+	ch byte
+	v  float64
+}
+
+// breakdownBar renders segments as a stacked ASCII bar, one letter per
+// component, with cumulative rounding so the bar length tracks the row total.
+func breakdownBar(segs []breakdownSeg, scale float64) string {
+	var b strings.Builder
+	acc, drawn := 0.0, 0
+	for _, s := range segs {
+		acc += s.v
+		target := int(acc/scale + 0.5)
+		for drawn < target {
+			b.WriteByte(s.ch)
+			drawn++
+		}
+	}
+	return b.String()
+}
+
+// runBreakdown renders a spans JSONL stream (supersim -spans) as a per-hop
+// latency decomposition: mean ticks per pipeline component at each hop,
+// numerically and as stacked bars on a shared scale. With -csv the full
+// (app, hop, component) aggregation is written via ssparse.
+func runBreakdown(path string, rawFilters []string, csvPath string, width int) error {
+	if len(rawFilters) > 0 {
+		return fmt.Errorf("+filters are not supported with -plot breakdown")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	agg, err := ssparse.LoadSpans(f)
+	if err != nil {
+		return err
+	}
+	if agg.Records == 0 {
+		return fmt.Errorf("no span records in %s", path)
+	}
+
+	// Shared scale: the widest row (by mean ticks) fills the plot width.
+	maxRow := 0.0
+	for _, app := range agg.Apps {
+		maxRow = max(maxRow, app.Queue.Mean(), app.Eject.Mean())
+		for _, h := range app.Hops {
+			maxRow = max(maxRow, h.VCAlloc.Mean()+h.SWAlloc.Mean()+h.Xbar.Mean()+h.Output.Mean()+h.Wire.Mean())
+		}
+	}
+	if width < 10 {
+		width = 10
+	}
+	scale := maxRow / float64(width)
+	if scale <= 0 {
+		scale = 1
+	}
+
+	fmt.Printf("latency breakdown: %d spans at sample fraction %g (1 char = %.2f ticks)\n",
+		agg.Records, agg.Header.Sample, scale)
+	fmt.Println("legend: Q queue, V vc_alloc, S sw_alloc, X xbar, O output, W wire, E eject")
+	ids := make([]int, 0, len(agg.Apps))
+	for id := range agg.Apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		app := agg.Apps[id]
+		fmt.Printf("app %d: e2e mean=%.1f p50=%d p99=%d (%d spans)\n",
+			id, app.E2E.Mean(), app.E2E.Percentile(50), app.E2E.Percentile(99), app.E2E.Count())
+		row := func(label string, segs ...breakdownSeg) {
+			total := 0.0
+			for _, s := range segs {
+				total += s.v
+			}
+			fmt.Printf("  %5s %7.1f  %s\n", label, total, breakdownBar(segs, scale))
+		}
+		row("queue", breakdownSeg{'Q', app.Queue.Mean()})
+		for i, h := range app.Hops {
+			label := "src"
+			if i > 0 {
+				label = fmt.Sprintf("hop %d", i)
+			}
+			row(label,
+				breakdownSeg{'V', h.VCAlloc.Mean()}, breakdownSeg{'S', h.SWAlloc.Mean()},
+				breakdownSeg{'X', h.Xbar.Mean()}, breakdownSeg{'O', h.Output.Mean()},
+				breakdownSeg{'W', h.Wire.Mean()})
+		}
+		row("eject", breakdownSeg{'E', app.Eject.Mean()})
+	}
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := agg.WriteSpansCSV(out); err != nil {
 			return err
 		}
 	}

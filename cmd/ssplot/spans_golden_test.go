@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests for the breakdown plot kind, against the committed spans
+// stream from the OBSERVABILITY.md worked example (a congested tornado on a
+// 4x4 torus; see cmd/ssparse/testdata/spans_example.json for the settings
+// and the regeneration command).
+
+func TestGoldenBreakdown(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("breakdown", "", 0, 70, 18, []string{filepath.Join("testdata", "spans.jsonl")})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_breakdown.txt"), out)
+}
+
+func TestGoldenBreakdownCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "breakdown.csv")
+	captureStdout(t, func() error {
+		return run("breakdown", csv, 0, 70, 18, []string{filepath.Join("testdata", "spans.jsonl")})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_breakdown.csv"), got)
+}
+
+func TestBreakdownRejectsFilters(t *testing.T) {
+	err := run("breakdown", "", 0, 70, 18, []string{filepath.Join("testdata", "spans.jsonl"), "+app=0"})
+	if err == nil {
+		t.Fatal("breakdown with +filters did not error")
+	}
+}
+
+func TestBreakdownRejectsWrongStream(t *testing.T) {
+	err := run("breakdown", "", 0, 70, 18, []string{filepath.Join("testdata", "telemetry.jsonl")})
+	if err == nil {
+		t.Fatal("telemetry stream accepted as spans stream")
+	}
+}

@@ -23,9 +23,13 @@
 // map onto simulation.telemetry.* settings: -telemetry enables the metric
 // registry, -telemetry-file <f> writes time-binned JSONL snapshots every
 // -telemetry-bin ticks, -trace <f> writes a Chrome trace-event JSON of flit
-// lifecycles sampled at -trace-sample, and -telemetry-addr <host:port>
-// serves live run introspection (/metrics Prometheus text, /progress JSON,
-// /debug/pprof, /debug/vars) while the simulation executes.
+// lifecycles sampled at -trace-sample, -spans <f> writes per-message latency
+// decompositions (spans JSONL, see ssparse -spans and ssplot -plot breakdown)
+// sampled at -spans-sample, and -telemetry-addr <host:port> serves live run
+// introspection (/metrics Prometheus text, /progress JSON, /debug/pprof,
+// /debug/vars) while the simulation executes. Modifier flags set without the
+// flag they modify (-trace-sample without -trace, -spans-sample without
+// -spans, -telemetry-bin with no telemetry consumer) are rejected up front.
 package main
 
 import (
@@ -55,7 +59,15 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live introspection HTTP on this address (implies -telemetry)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of flit lifecycles to this file (implies -telemetry)")
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of messages to trace, 0..1")
+	spansPath := flag.String("spans", "", "write per-message latency decompositions (spans JSONL) to this file (implies -telemetry)")
+	spansSample := flag.Float64("spans-sample", 1.0, "fraction of messages to span-record, 0..1")
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set); err != nil {
+		fmt.Fprintln(os.Stderr, "supersim:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: supersim <config.json> [path=type=value ...]")
 		os.Exit(2)
@@ -84,6 +96,8 @@ func main() {
 		telemetryAddr: *telemetryAddr,
 		tracePath:     *tracePath,
 		traceSample:   *traceSample,
+		spansPath:     *spansPath,
+		spansSample:   *spansSample,
 	})
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
@@ -118,6 +132,27 @@ type runOpts struct {
 	telemetryAddr string
 	tracePath     string
 	traceSample   float64
+	spansPath     string
+	spansSample   float64
+}
+
+// validateFlags rejects combinations where a modifier flag was set on the
+// command line but the flag it modifies is absent: silently ignoring the
+// modifier would make the run look correctly configured while producing none
+// of the requested output, so fail fast instead.
+func validateFlags(set map[string]bool) error {
+	if set["trace-sample"] && !set["trace"] {
+		return fmt.Errorf("-trace-sample has no effect without -trace")
+	}
+	if set["spans-sample"] && !set["spans"] {
+		return fmt.Errorf("-spans-sample has no effect without -spans")
+	}
+	if set["telemetry-bin"] &&
+		!set["telemetry"] && !set["telemetry-file"] && !set["telemetry-addr"] &&
+		!set["trace"] && !set["spans"] {
+		return fmt.Errorf("-telemetry-bin has no effect without -telemetry, -telemetry-file, -telemetry-addr, -trace, or -spans")
+	}
+	return nil
 }
 
 // apply translates the telemetry flags into simulation.telemetry.* settings
@@ -128,7 +163,7 @@ func (o *runOpts) apply(cfg *config.Settings) error {
 			return err
 		}
 	}
-	if o.telemetryFile != "" || o.telemetryAddr != "" || o.tracePath != "" {
+	if o.telemetryFile != "" || o.telemetryAddr != "" || o.tracePath != "" || o.spansPath != "" {
 		o.telemetry = true
 	}
 	if !o.telemetry {
@@ -144,6 +179,11 @@ func (o *runOpts) apply(cfg *config.Settings) error {
 	}
 	if o.tracePath != "" {
 		ov = append(ov, "simulation.telemetry.trace_file=string="+o.tracePath)
+	}
+	if o.spansPath != "" {
+		ov = append(ov,
+			"simulation.telemetry.spans_file=string="+o.spansPath,
+			fmt.Sprintf("simulation.telemetry.spans_sample=float=%g", o.spansSample))
 	}
 	return cfg.ApplyOverrides(ov)
 }

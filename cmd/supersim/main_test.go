@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/telemetry"
+)
+
+func setOf(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		set     map[string]bool
+		wantErr string // empty = valid
+	}{
+		{"no flags", setOf(), ""},
+		{"trace with sample", setOf("trace", "trace-sample"), ""},
+		{"trace-sample alone", setOf("trace-sample"), "-trace-sample"},
+		{"spans with sample", setOf("spans", "spans-sample"), ""},
+		{"spans-sample alone", setOf("spans-sample"), "-spans-sample"},
+		{"spans-sample with only trace", setOf("trace", "spans-sample"), "-spans-sample"},
+		{"bin alone", setOf("telemetry-bin"), "-telemetry-bin"},
+		{"bin with log only", setOf("telemetry-bin", "log"), "-telemetry-bin"},
+		{"bin with telemetry", setOf("telemetry-bin", "telemetry"), ""},
+		{"bin with telemetry-file", setOf("telemetry-bin", "telemetry-file"), ""},
+		{"bin with telemetry-addr", setOf("telemetry-bin", "telemetry-addr"), ""},
+		{"bin with trace", setOf("telemetry-bin", "trace"), ""},
+		{"bin with spans", setOf("telemetry-bin", "spans"), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.set)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want mention of %s", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestApplyMapsSpansFlags(t *testing.T) {
+	cfg := config.New()
+	o := runOpts{spansPath: "out/spans.jsonl", spansSample: 0.25, telemetryBin: 500, traceSample: 1.0}
+	if err := o.apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.BoolOr("simulation.telemetry.enabled", false) {
+		t.Fatal("-spans must imply -telemetry")
+	}
+	if got := cfg.StringOr("simulation.telemetry.spans_file", ""); got != "out/spans.jsonl" {
+		t.Fatalf("spans_file = %q", got)
+	}
+	if got := cfg.FloatOr("simulation.telemetry.spans_sample", -1); got != 0.25 {
+		t.Fatalf("spans_sample = %v", got)
+	}
+}
+
+func TestApplyWithoutSpansLeavesSettingsUnset(t *testing.T) {
+	cfg := config.New()
+	o := runOpts{telemetry: true, telemetryBin: 1000, traceSample: 1.0}
+	if err := o.apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Has("simulation.telemetry.spans_file") || cfg.Has("simulation.telemetry.spans_sample") {
+		t.Fatal("spans settings must stay unset without -spans")
+	}
+}
+
+// TestRunWritesSpansStream drives the full run() path with a spans file: the
+// flag-mapped settings must reach the recorder and produce a parseable stream.
+func TestRunWritesSpansStream(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	doc := `{
+	  "simulation": {"seed": 7},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [2, 2],
+	    "concentration": 1,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.1,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 100,
+	      "sample_duration": 300,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(cfgPath, nil, runOpts{
+		quiet: true, spansPath: spansPath, spansSample: 1.0, telemetryBin: 1000, traceSample: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records := 0
+	hdr, err := telemetry.ReadSpans(f, func(rec telemetry.SpanRecord) error {
+		records++
+		if rec.ComponentSum() != rec.E2E {
+			t.Errorf("message %d decomposition inexact: %+v", rec.Msg, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Sample != 1.0 || records == 0 {
+		t.Fatalf("spans stream: sample %v, %d records", hdr.Sample, records)
+	}
+}

@@ -43,6 +43,7 @@ type Channel struct {
 
 	v  *verify.Verifier        // nil unless invariant verification is attached
 	tp *telemetry.ChannelProbe // nil unless telemetry is attached
+	sp *telemetry.Spans        // nil unless span recording is attached
 }
 
 // New creates a flit channel. latency is the propagation delay in ticks;
@@ -60,6 +61,7 @@ func New(s *sim.Simulator, name string, latency, period sim.Tick) *Channel {
 		period:        period,
 		v:             verify.For(s),
 		tp:            telemetry.ForChannel(s, name, period),
+		sp:            telemetry.SpansFor(s),
 	}
 }
 
@@ -147,8 +149,19 @@ func (c *Channel) ProcessEvent(ev *sim.Event) {
 		c.scheduled = false
 	}
 	fl.f.ReceiveTime = now
+	if c.sp != nil && c.sp.Tracked(fl.f) {
+		// Channel exit is the uniform hop boundary: serialization wait plus
+		// propagation is charged to the wire, and the span moves to the next
+		// hop. This fires for injection, router-router and ejection links
+		// alike, so every hop on the path ends with exactly one wire step.
+		c.sp.Step(now, fl.f, telemetry.SpanWire)
+	}
 	c.sink.ReceiveFlit(c.sinkPort, fl.f)
 }
+
+// Sink returns the connected flit sink and its port; the stall diagnostician
+// uses it to follow blocked dependency chains across links.
+func (c *Channel) Sink() (types.FlitSink, int) { return c.sink, c.sinkPort }
 
 type creditFlight struct {
 	at sim.Tick

@@ -15,9 +15,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"supersim/internal/config"
+	"supersim/internal/diagnose"
 	"supersim/internal/network"
 	"supersim/internal/sim"
 	"supersim/internal/telemetry"
@@ -96,9 +98,35 @@ func Build(cfg *config.Settings) *Simulation {
 			}
 			opts.Tracer = telemetry.NewTracer(f, cfg.FloatOr("simulation.telemetry.trace_sample", 1.0))
 		}
+		// Span recording: "spans_file" streams per-message latency
+		// decompositions as JSONL; "spans_sample" alone folds sampled spans
+		// into the registry histograms without a stream (the critical-path
+		// report still reaches snapshots and Prometheus).
+		spansPath := cfg.StringOr("simulation.telemetry.spans_file", "")
+		spansSample := cfg.FloatOr("simulation.telemetry.spans_sample", 0)
+		if spansPath != "" && !cfg.Has("simulation.telemetry.spans_sample") {
+			spansSample = 1.0
+		}
+		if spansPath != "" || spansSample > 0 {
+			var w io.Writer
+			if spansPath != "" {
+				f, err := os.Create(spansPath)
+				if err != nil {
+					panic(fmt.Sprintf("core: telemetry spans file: %v", err))
+				}
+				w = f
+			}
+			opts.Spans = telemetry.NewSpans(w, spansSample)
+		}
 		tel = telemetry.Attach(s, opts)
 	}
 	net := network.New(s, cfg.Sub("network"))
+	if v != nil {
+		// With the network built the watchdog can do better than an occupancy
+		// dump: the diagnostician walks head-of-line dependency chains and
+		// names the resource each blocked flit waits on.
+		v.SetDiagnoser(diagnose.New(net).Report)
+	}
 	w := workload.New(s, cfg.Sub("workload"), net)
 	if v != nil {
 		// The workload's message pool reports obtain/release so stale pooled

@@ -48,7 +48,11 @@ func TestTelemetryObservationOnly(t *testing.T) {
 	dir := t.TempDir()
 	snapPath := filepath.Join(dir, "telemetry.jsonl")
 	tracePath := filepath.Join(dir, "trace.json")
+	spansPath := filepath.Join(dir, "spans.jsonl")
 
+	// Both runs have verification on (gc.doc), so the stall diagnostician is
+	// armed behind the watchdog in each; the instrumented run additionally
+	// enables snapshotting, tracing, and span recording together.
 	base, baseInj, baseRet, _ := runForSamples(t, gc.doc, nil)
 	tele, teleInj, teleRet, sm := runForSamples(t, gc.doc, []string{
 		"simulation.telemetry.enabled=bool=true",
@@ -56,6 +60,8 @@ func TestTelemetryObservationOnly(t *testing.T) {
 		"simulation.telemetry.snapshot_file=string=" + snapPath,
 		"simulation.telemetry.trace_file=string=" + tracePath,
 		"simulation.telemetry.trace_sample=float=0.5",
+		"simulation.telemetry.spans_file=string=" + spansPath,
+		"simulation.telemetry.spans_sample=float=0.5",
 	})
 	if sm.Telemetry == nil {
 		t.Fatal("telemetry run did not attach telemetry")
@@ -113,6 +119,35 @@ func TestTelemetryObservationOnly(t *testing.T) {
 	// (by flit conservation) leaves the network.
 	if len(doc.TraceEvents)%2 != 0 {
 		t.Fatalf("trace has %d events, want an even begin/end count", len(doc.TraceEvents))
+	}
+
+	// The spans stream must be valid and exact, and its histograms must have
+	// reached the registry snapshot stream (the critical-path report).
+	spf, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spf.Close()
+	spanRecs := uint64(0)
+	if _, err := telemetry.ReadSpans(spf, func(rec telemetry.SpanRecord) error {
+		spanRecs++
+		if rec.ComponentSum() != rec.E2E {
+			t.Errorf("message %d decomposition inexact: %+v", rec.Msg, rec)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spans stream unreadable: %v", err)
+	}
+	if spanRecs == 0 {
+		t.Fatal("no span records at 50% sampling")
+	}
+	if spanRecs != sm.Telemetry.Spans().Records() {
+		t.Errorf("spans stream has %d records, recorder counted %d", spanRecs, sm.Telemetry.Spans().Records())
+	}
+	for _, m := range []string{"span_e2e", "span_queue", "span_eject", "span_wire", "span_vc_alloc"} {
+		if !metrics[m] {
+			t.Errorf("snapshot stream missing span metric %q", m)
+		}
 	}
 }
 

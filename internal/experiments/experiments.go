@@ -33,6 +33,12 @@ type Options struct {
 	// stderr every MonitorEvery executed events. The bench harness wires
 	// SUPERSIM_MONITOR to this.
 	MonitorEvery uint64
+
+	// SpansSample, when positive, enables telemetry with span recording at
+	// that sample fraction (fold-only: spans feed the registry histograms, no
+	// JSONL stream). BenchmarkFigure5Spans uses this to measure the
+	// instrumented hot path against the disabled-path bench-guard ceiling.
+	SpansSample float64
 }
 
 func (o Options) seed() uint64 {
@@ -46,6 +52,10 @@ func (o Options) seed() uint64 {
 func (o Options) prep(cfg *config.Settings) *config.Settings {
 	if o.MonitorEvery > 0 {
 		cfg.Set("simulation.monitor_interval", o.MonitorEvery)
+	}
+	if o.SpansSample > 0 {
+		cfg.Set("simulation.telemetry.enabled", true)
+		cfg.Set("simulation.telemetry.spans_sample", o.SpansSample)
 	}
 	return cfg
 }

@@ -60,8 +60,9 @@ type Interface struct {
 	v       *verify.Verifier
 	credLed *verify.CreditLedger
 
-	// telemetry probe, nil unless attached to the simulator
+	// telemetry probe and span recorder, nil unless attached to the simulator
 	tp *telemetry.IfaceProbe
+	sp *telemetry.Spans
 
 	// statistics
 	flitsSent, flitsReceived uint64
@@ -87,6 +88,7 @@ func New(s *sim.Simulator, name string, id int, cfg *config.Settings, vcs int, c
 		checker:       types.NewOrderChecker(id),
 		v:             verify.For(s),
 		tp:            telemetry.ForIface(s, name, id),
+		sp:            telemetry.SpansFor(s),
 	}
 }
 
@@ -160,6 +162,9 @@ func (n *Interface) SendMessage(m *types.Message) {
 	}
 	if len(m.Packets) == 0 {
 		n.Panicf("message %d has no packets", m.ID)
+	}
+	if n.sp != nil {
+		n.sp.Start(m)
 	}
 	n.sendQ = append(n.sendQ, m.Packets...)
 	if n.tp != nil {
@@ -270,6 +275,11 @@ func (n *Interface) injectOne() {
 			pkt.Msg.InjectTime = now
 		}
 	}
+	if n.sp != nil && n.sp.Tracked(f) {
+		// Creation to injection-channel entry is source queueing: the wait
+		// behind earlier packets plus credit backpressure.
+		n.sp.Step(now, f, telemetry.SpanQueue)
+	}
 	n.outCh.Inject(f)
 	n.flitsSent++
 	if n.tp != nil {
@@ -337,6 +347,27 @@ func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
 		n.sink.DeliverMessage(m)
 	}
 }
+
+// HeadPacket returns the packet at the head of the injection queue, or nil
+// when the queue is empty. The stall diagnostician uses it to name the
+// message a blocked terminal is trying to send.
+func (n *Interface) HeadPacket() *types.Packet {
+	if n.QueueDepth() == 0 {
+		return nil
+	}
+	return n.sendQ[n.sendHead]
+}
+
+// InjectionCredits returns a copy of the per-VC credit counts for the
+// router's input buffer.
+func (n *Interface) InjectionCredits() []int {
+	out := make([]int, len(n.downCred))
+	copy(out, n.downCred)
+	return out
+}
+
+// OutputChannel returns the flit channel toward the router.
+func (n *Interface) OutputChannel() *channel.Channel { return n.outCh }
 
 // ReceiveCredit restores an injection credit for a VC.
 func (n *Interface) ReceiveCredit(port int, c types.Credit) {

@@ -276,3 +276,35 @@ func TestVerifyIdleDetectsPartialMessage(t *testing.T) {
 	s.Run()
 	mustPanic(t, func() { n.VerifyIdle() })
 }
+
+func TestInspectionAccessors(t *testing.T) {
+	s, n, _, _ := rig(t, 2, 3, nil)
+	if n.OutputChannel() == nil {
+		t.Fatal("OutputChannel is nil on a connected interface")
+	}
+	if n.HeadPacket() != nil {
+		t.Fatal("HeadPacket non-nil on an idle interface")
+	}
+	creds := n.InjectionCredits()
+	if len(creds) != 2 || creds[0] != 3 || creds[1] != 3 {
+		t.Fatalf("InjectionCredits = %v, want [3 3]", creds)
+	}
+	creds[0] = -99 // the returned slice must be a copy
+	if n.InjectionCredits()[0] != 3 {
+		t.Fatal("InjectionCredits aliases internal state")
+	}
+
+	m := msg(1, 0, 5, 4, 2)
+	n.SendMessage(m)
+	if hp := n.HeadPacket(); hp == nil || hp.Msg != m || hp.ID != 0 {
+		t.Fatalf("HeadPacket = %v, want packet 0 of the queued message", hp)
+	}
+	s.Run()
+	if n.HeadPacket() != nil {
+		t.Fatal("HeadPacket non-nil after the queue drained")
+	}
+	if got := n.InjectionCredits(); got[0]+got[1] != 2 {
+		// 4 flits debited from 6 total credits, none returned by the stub
+		t.Fatalf("InjectionCredits = %v after sending 4 flits, want 2 remaining in total", got)
+	}
+}

@@ -50,8 +50,9 @@ type base struct {
 	credLed []*verify.CreditLedger // per output port, mirrors downCred
 	bufLed  []*verify.BufferLedger // per input port, tracks buffer occupancy
 
-	// telemetry probe, nil unless attached to the simulator
+	// telemetry probe and span recorder, nil unless attached to the simulator
 	tp *telemetry.RouterProbe
+	sp *telemetry.Spans
 
 	pipelineScheduled bool
 
@@ -103,6 +104,7 @@ func newBase(s *sim.Simulator, name string, cfg *config.Settings, p Params) base
 		}
 	}
 	b.tp = telemetry.ForRouter(s, name, vcs)
+	b.sp = telemetry.SpansFor(s)
 	b.sensor = congestion.New(cfg.SubOr("congestion_sensor"), p.Radix, vcs)
 	if p.RoutingCtor == nil {
 		panic("router: routing constructor required")
@@ -133,6 +135,14 @@ func (b *base) Sensor() congestion.Tracker { return b.sensor }
 func (b *base) ConnectOutput(port int, ch *channel.Channel) {
 	b.checkPort(port)
 	b.outCh[port] = ch
+}
+
+// OutputChannel returns the flit channel leaving an output port, or nil when
+// the port is unconnected. The stall diagnostician uses it to follow blocked
+// dependency chains downstream.
+func (b *base) OutputChannel(port int) *channel.Channel {
+	b.checkPort(port)
+	return b.outCh[port]
 }
 
 // ConnectCreditOut wires the upstream credit return channel of an input port.
@@ -287,7 +297,10 @@ func (b *base) verifyIdleCredits() {
 // len(pending) entries (routers size it to their input VC count once); grant
 // marks ride in the inputVC structs. The allocator itself never allocates —
 // it runs every core cycle on every router.
-func allocateVCs(pending, scratch []int, rotate int, ageOrder bool,
+// now and sp drive span recording: a grant whose head flit is tracked by the
+// span recorder closes that flit's vc_alloc segment. sp is nil when span
+// recording is disabled.
+func allocateVCs(now sim.Tick, sp *telemetry.Spans, pending, scratch []int, rotate int, ageOrder bool,
 	in []inputVC, holder [][]int, sched []*xbarSched) ([]int, bool) {
 	n := len(pending)
 	if n == 0 {
@@ -323,6 +336,13 @@ func allocateVCs(pending, scratch []int, rotate int, ageOrder bool,
 				sched[iv.resp.Port].addContender(client)
 				iv.granted = true
 				progress = true
+				if sp != nil {
+					if f := iv.q.peek(); sp.Tracked(f) {
+						// Arrival to VC grant: route computation plus the
+						// wait for a free output VC.
+						sp.Step(now, f, telemetry.SpanVCAlloc)
+					}
+				}
 				break
 			}
 		}
@@ -337,6 +357,43 @@ func allocateVCs(pending, scratch []int, rotate int, ageOrder bool,
 		}
 	}
 	return kept, progress
+}
+
+// holFromInputVC snapshots the head-of-line state of one input VC for the
+// architectures built on inputVC (IQ and IOQ). Architectures with output
+// queues overlay their queue occupancy on the result.
+func holFromInputVC(b *base, in []inputVC, holder [][]int, client int) HOLState {
+	iv := &in[client]
+	st := HOLState{Occupancy: iv.q.len(), OutPort: -1, OutVC: -1, WantPort: -1, HolderPort: -1, HolderVC: -1, OutDepth: -1}
+	f := iv.q.peek()
+	if f == nil {
+		st.Phase = HOLEmpty
+		return st
+	}
+	st.Flit = f
+	switch {
+	case iv.outVC >= 0:
+		st.Phase = HOLAllocated
+		st.OutPort, st.OutVC = iv.outPort, iv.outVC
+		st.Credits = b.downCred[iv.outPort][iv.outVC]
+		st.CreditCap = b.downCap[iv.outPort]
+	case iv.routeState == rsDone:
+		st.Phase = HOLAwaitingVC
+		st.WantPort = iv.resp.Port
+		st.WantVCs = iv.resp.VCs
+		for _, vc := range iv.resp.VCs {
+			if holder[iv.resp.Port][vc] == -1 {
+				// A wanted VC is free, so the wait is transient: a grant is
+				// due next allocation cycle. No holder to chain to.
+				return st
+			}
+		}
+		h := holder[iv.resp.Port][iv.resp.VCs[0]]
+		st.HolderPort, st.HolderVC = h/b.vcs, h%b.vcs
+	default:
+		st.Phase = HOLRouting
+	}
+	return st
 }
 
 // flight is one flit traversing a fixed-latency internal datapath (crossbar

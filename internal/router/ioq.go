@@ -5,6 +5,7 @@ import (
 	"supersim/internal/crossbar"
 	"supersim/internal/routing"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 )
 
@@ -194,6 +195,10 @@ func (r *IOQ) drainFlights() {
 			return
 		}
 		fl := r.dl.pop()
+		if r.sp != nil && r.sp.Tracked(fl.f) {
+			// Crossbar traversal ends at output-queue entry.
+			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+		}
 		r.outQ[r.client(fl.port, fl.f.VC)].push(fl.f)
 		r.scheduleOutput(fl.port)
 	}
@@ -223,7 +228,7 @@ func (r *IOQ) pipeline() {
 	// Stage 1: VC allocation (identical policy to the IQ architecture).
 	var vcProgress bool
 	vcBefore := len(r.vcPending)
-	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
@@ -271,6 +276,11 @@ func (r *IOQ) eligible(port, client int) bool {
 func (r *IOQ) sendFlit(now sim.Tick, port, client int) {
 	iv := &r.in[client]
 	f := iv.q.pop()
+	if r.sp != nil && r.sp.Tracked(f) {
+		// VC grant to switch grant: crossbar arbitration plus the wait for
+		// output-queue space.
+		r.sp.Step(now, f, telemetry.SpanSWAlloc)
+	}
 	inPort, inVC := r.clientPort(client), r.clientVC(client)
 	f.VC = iv.outVC
 	if f.Head {
@@ -307,6 +317,10 @@ func (r *IOQ) drain(port int) {
 			continue
 		}
 		f := r.outQ[qi].pop()
+		if r.sp != nil && r.sp.Tracked(f) {
+			// Output-queue residency: the wait for downstream credits.
+			r.sp.Step(now, f, telemetry.SpanOutput)
+		}
 		r.takeDownstreamCredit(port, vc)
 		r.outOcc[qi]--
 		if r.outOcc[qi] < 0 {
@@ -326,6 +340,17 @@ func (r *IOQ) drain(port int) {
 		}
 		return
 	}
+}
+
+// HOL reports the head-of-line state of one input VC for the stall
+// diagnostician.
+func (r *IOQ) HOL(port, vc int) HOLState {
+	st := holFromInputVC(&r.base, r.in, r.holder, r.client(port, vc))
+	if st.Phase == HOLAllocated {
+		st.OutQueued = r.outOcc[r.client(st.OutPort, st.OutVC)]
+		st.OutDepth = r.outDepth
+	}
+	return st
 }
 
 // VerifyIdle implements the post-drain quiescence check.

@@ -5,6 +5,7 @@ import (
 	"supersim/internal/crossbar"
 	"supersim/internal/routing"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 )
 
@@ -181,6 +182,10 @@ func (r *IQ) drainFlights() {
 			return
 		}
 		fl := r.dl.pop()
+		if r.sp != nil && r.sp.Tracked(fl.f) {
+			// Crossbar traversal ends at channel entry.
+			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+		}
 		r.outCh[fl.port].Inject(fl.f)
 	}
 }
@@ -209,7 +214,7 @@ func (r *IQ) pipeline() {
 	// Stage 1: VC allocation (the VC scheduler).
 	var vcProgress bool
 	vcBefore := len(r.vcPending)
-	r.vcPending, vcProgress = allocateVCs(r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
@@ -265,6 +270,10 @@ func (r *IQ) eligible(now sim.Tick, port, client int) (bool, bool) {
 func (r *IQ) sendFlit(now sim.Tick, port, client int) {
 	iv := &r.in[client]
 	f := iv.q.pop()
+	if r.sp != nil && r.sp.Tracked(f) {
+		// VC grant to switch grant: crossbar arbitration plus credit waits.
+		r.sp.Step(now, f, telemetry.SpanSWAlloc)
+	}
 	inPort, inVC := r.clientPort(client), r.clientVC(client)
 	f.VC = iv.outVC
 	if f.Head {
@@ -284,6 +293,12 @@ func (r *IQ) sendFlit(now sim.Tick, port, client int) {
 		iv.resp = routing.Response{}
 		r.maybeStartRoute(client)
 	}
+}
+
+// HOL reports the head-of-line state of one input VC for the stall
+// diagnostician.
+func (r *IQ) HOL(port, vc int) HOLState {
+	return holFromInputVC(&r.base, r.in, r.holder, r.client(port, vc))
 }
 
 // VerifyIdle implements the post-drain quiescence check.

@@ -4,6 +4,7 @@ import (
 	"supersim/internal/config"
 	"supersim/internal/routing"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 )
 
@@ -188,6 +189,12 @@ func (r *OQ) pipeline() {
 		}
 		// Transfer one flit.
 		iv.q.pop()
+		if r.sp != nil && r.sp.Tracked(f) {
+			// Arrival to transfer start: routing (synchronous here), output
+			// VC acquisition, and the wait for output-queue space — the OQ
+			// analogue of VC allocation.
+			r.sp.Step(now, f, telemetry.SpanVCAlloc)
+		}
 		f.VC = iv.outVC
 		if f.Head {
 			f.Pkt.HopCount++
@@ -234,6 +241,10 @@ func (r *OQ) drainFlights() {
 			return
 		}
 		fl := r.dl.pop()
+		if r.sp != nil && r.sp.Tracked(fl.f) {
+			// Queue-to-queue transfer ends at output-queue entry.
+			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+		}
 		r.outQ[r.client(fl.port, fl.f.VC)].push(fl.f)
 		r.scheduleOutput(fl.port)
 	}
@@ -255,6 +266,10 @@ func (r *OQ) drain(port int) {
 			continue
 		}
 		f := r.outQ[qi].pop()
+		if r.sp != nil && r.sp.Tracked(f) {
+			// Output-queue residency: the wait for downstream credits.
+			r.sp.Step(now, f, telemetry.SpanOutput)
+		}
 		r.takeDownstreamCredit(port, vc)
 		r.outOcc[qi]--
 		if r.outOcc[qi] < 0 {
@@ -277,6 +292,45 @@ func (r *OQ) drain(port int) {
 			}
 		}
 	}
+}
+
+// HOL reports the head-of-line state of one input VC for the stall
+// diagnostician. The OQ architecture has no VC-allocation pipeline; a routed
+// head without an output VC waits for an unowned output queue, and its
+// "holder" is the input client currently streaming a packet into one of the
+// wanted queues.
+func (r *OQ) HOL(port, vc int) HOLState {
+	iv := &r.in[r.client(port, vc)]
+	st := HOLState{Occupancy: iv.q.len(), OutPort: -1, OutVC: -1, WantPort: -1, HolderPort: -1, HolderVC: -1, OutDepth: r.outDepth}
+	f := iv.q.peek()
+	if f == nil {
+		st.Phase = HOLEmpty
+		return st
+	}
+	st.Flit = f
+	switch {
+	case iv.outVC >= 0:
+		st.Phase = HOLAllocated
+		st.OutPort, st.OutVC = iv.resp.Port, iv.outVC
+		qi := r.client(iv.resp.Port, iv.outVC)
+		st.Credits = r.downCred[iv.resp.Port][iv.outVC]
+		st.CreditCap = r.downCap[iv.resp.Port]
+		st.OutQueued = r.outOcc[qi]
+	case iv.routed:
+		st.Phase = HOLAwaitingVC
+		st.WantPort = iv.resp.Port
+		st.WantVCs = iv.resp.VCs
+		for _, w := range iv.resp.VCs {
+			if r.outOwner[r.client(iv.resp.Port, w)] == -1 {
+				return st // an unowned queue exists; the wait is transient
+			}
+		}
+		owner := r.outOwner[r.client(iv.resp.Port, iv.resp.VCs[0])]
+		st.HolderPort, st.HolderVC = owner/r.vcs, owner%r.vcs
+	default:
+		st.Phase = HOLRouting
+	}
+	return st
 }
 
 // VerifyIdle implements the post-drain quiescence check.

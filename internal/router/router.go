@@ -43,6 +43,14 @@ type Router interface {
 	// leaks (lost flits, stuck packets, credit accounting errors).
 	VerifyIdle()
 
+	// HOL reports the head-of-line state of one input VC — what its head
+	// flit is, what resource it waits on, and who holds that resource. The
+	// stall diagnostician walks these states to render blocked-chain reports.
+	HOL(port, vc int) HOLState
+	// OutputChannel returns the flit channel leaving an output port, or nil
+	// when the port is unconnected.
+	OutputChannel(port int) *channel.Channel
+
 	// ConnectOutput wires the flit channel leaving output port.
 	ConnectOutput(port int, ch *channel.Channel)
 	// ConnectCreditOut wires the credit channel returning credits upstream
@@ -53,7 +61,46 @@ type Router interface {
 	SetDownstreamCredits(port int, perVC int)
 }
 
-// Params carries the construction inputs a network supplies to a router.
+// Head-of-line phases reported by HOL, ordered by pipeline progress.
+const (
+	// HOLEmpty: the input VC holds no flits.
+	HOLEmpty = "empty"
+	// HOLRouting: the head packet's routing decision is still in flight.
+	HOLRouting = "routing"
+	// HOLAwaitingVC: routed, waiting for an output VC grant. HolderPort and
+	// HolderVC name the input VC currently holding a wanted output VC when
+	// every wanted VC is taken.
+	HOLAwaitingVC = "awaiting-vc"
+	// HOLAllocated: granted an output VC; advancing as switch bandwidth,
+	// output-queue space, and downstream credits (Credits) allow.
+	HOLAllocated = "allocated"
+)
+
+// HOLState is a snapshot of one input VC's head-of-line dependency, the unit
+// the stall diagnostician chains together: a blocked head waits on an output
+// VC whose holder is itself an input VC (same router), or on downstream
+// credits whose owner is across the output channel.
+type HOLState struct {
+	Flit      *types.Flit // head flit, nil when the VC is empty
+	Occupancy int         // flits buffered in this input VC
+	Phase     string      // one of the HOL* phase constants
+
+	OutPort, OutVC int // granted output, -1 before allocation
+
+	// For HOLAwaitingVC: the wanted output port and VC set, and the input VC
+	// holding a wanted output VC — holder is -1/-1 when a wanted VC is free
+	// (transient — a grant is imminent).
+	WantPort             int
+	WantVCs              []int
+	HolderPort, HolderVC int
+
+	// For HOLAllocated: downstream credit count and capacity on the granted
+	// output VC, and — on architectures with output queues — that queue's
+	// occupancy and capacity (OutDepth is -1 when the architecture has no
+	// output queue, 0 when the queue is unbounded).
+	Credits, CreditCap int
+	OutQueued, OutDepth int
+}
 type Params struct {
 	ID            int
 	Radix         int

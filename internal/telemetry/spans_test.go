@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supersim/internal/sim"
+	"supersim/internal/types"
+)
+
+// spanMsg builds a 4-flit, 2-packet message whose tracked flit is the head
+// flit of packet 0.
+func spanMsg(id uint64) *types.Message {
+	return types.NewMessage(id, 0, 2, 7, 4, 2)
+}
+
+// driveSpan walks one message through a two-hop lifecycle (source interface,
+// then one router) with fixed per-stage delays and returns the delivery time.
+func driveSpan(sp *Spans, m *types.Message) sim.Tick {
+	f := m.Packets[0].Flits[0]
+	sp.Start(m)
+	t := m.CreateTime
+	t += 3
+	sp.Step(t, f, SpanQueue) // 3 ticks of source queueing
+	t += 4
+	sp.Step(t, f, SpanWire) // injection link: hop 0 -> hop 1
+	t += 5
+	sp.Step(t, f, SpanVCAlloc)
+	t += 2
+	sp.Step(t, f, SpanSWAlloc)
+	t += 1
+	sp.Step(t, f, SpanXbar)
+	t += 2
+	sp.Step(t, f, SpanOutput)
+	t += 4
+	sp.Step(t, f, SpanWire) // ejection link: hop 1 -> destination
+	t += 6                  // reassembly tail
+	m.ReceiveTime = t
+	sp.Finish(m)
+	return t
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	want := map[SpanKind]string{
+		SpanQueue: "queue", SpanVCAlloc: "vc_alloc", SpanSWAlloc: "sw_alloc",
+		SpanXbar: "xbar", SpanOutput: "output", SpanWire: "wire", SpanEject: "eject",
+		SpanKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("SpanKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestSampledMsgFractionEndpoints(t *testing.T) {
+	all := NewSpans(nil, 1.0)
+	none := NewSpans(nil, 0)
+	clampedHi := NewSpans(nil, 2.5)  // clamps to 1
+	clampedLo := NewSpans(nil, -0.5) // clamps to 0
+	for id := uint64(0); id < 1000; id++ {
+		if !all.SampledMsg(id) || !clampedHi.SampledMsg(id) {
+			t.Fatalf("message %d not sampled at fraction 1.0", id)
+		}
+		if none.SampledMsg(id) || clampedLo.SampledMsg(id) {
+			t.Fatalf("message %d sampled at fraction 0", id)
+		}
+	}
+}
+
+func TestSampledMsgFractionIsApproximate(t *testing.T) {
+	sp := NewSpans(nil, 0.5)
+	hits := 0
+	const n = 10000
+	for id := uint64(0); id < n; id++ {
+		if sp.SampledMsg(id) {
+			hits++
+		}
+	}
+	if hits < n*4/10 || hits > n*6/10 {
+		t.Fatalf("fraction 0.5 sampled %d of %d messages", hits, n)
+	}
+}
+
+func TestTrackedSelectsHeadOfPacketZero(t *testing.T) {
+	sp := NewSpans(nil, 1.0)
+	m := spanMsg(1)
+	tracked := 0
+	for _, p := range m.Packets {
+		for _, f := range p.Flits {
+			if sp.Tracked(f) {
+				tracked++
+				if !f.Head || p.ID != 0 {
+					t.Fatalf("tracked flit is not the head of packet 0: %v", f)
+				}
+			}
+		}
+	}
+	if tracked != 1 {
+		t.Fatalf("message has %d tracked flits, want exactly 1", tracked)
+	}
+	if none := NewSpans(nil, 0); none.Tracked(m.Packets[0].Flits[0]) {
+		t.Fatal("unsampled message has a tracked flit")
+	}
+}
+
+func TestSpanLifecycleExactAndEmitted(t *testing.T) {
+	var buf bytes.Buffer
+	sp := NewSpans(&buf, 1.0)
+	m := spanMsg(1)
+	m.CreateTime = 100
+	driveSpan(sp, m)
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Records() != 1 {
+		t.Fatalf("records = %d, want 1", sp.Records())
+	}
+
+	var recs []SpanRecord
+	hdr, err := ReadSpans(&buf, func(r SpanRecord) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != SpanSchema || hdr.Version != SpanSchemaVersion || hdr.Sample != 1.0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("stream has %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Msg != 1 || r.App != 0 || r.Src != 2 || r.Dst != 7 {
+		t.Fatalf("record identity wrong: %+v", r)
+	}
+	if r.Queue != 3 || r.Eject != 6 || r.Hops != 1 || len(r.PerHop) != 2 {
+		t.Fatalf("record decomposition wrong: %+v", r)
+	}
+	if h0 := r.PerHop[0]; h0.Wire != 4 || h0.Total() != 4 {
+		t.Fatalf("hop 0 should carry only the injection wire: %+v", h0)
+	}
+	if h1 := r.PerHop[1]; h1.VCAlloc != 5 || h1.SWAlloc != 2 || h1.Xbar != 1 || h1.Output != 2 || h1.Wire != 4 {
+		t.Fatalf("hop 1 decomposition wrong: %+v", h1)
+	}
+	if r.ComponentSum() != r.E2E || r.E2E != 27 {
+		t.Fatalf("components sum to %d, e2e %d, want both 27", r.ComponentSum(), r.E2E)
+	}
+}
+
+func TestSpanFoldsRegistryHistograms(t *testing.T) {
+	sp := NewSpans(nil, 1.0)
+	sp.reg = newRegistry()
+	m := spanMsg(1)
+	driveSpan(sp, m)
+
+	checks := []struct {
+		name string
+		vc   int
+		sum  uint64
+	}{
+		{"span_queue", -1, 3},
+		{"span_eject", -1, 6},
+		{"span_e2e", -1, 27},
+		{"span_wire", 0, 4},
+		{"span_wire", 1, 4},
+		{"span_vc_alloc", 1, 5},
+		{"span_sw_alloc", 1, 2},
+		{"span_xbar", 1, 1},
+		{"span_output", 1, 2},
+	}
+	for _, c := range checks {
+		h := sp.reg.Histogram(c.name, "app0", c.vc)
+		if h.Count() != 1 || h.Sum() != c.sum {
+			t.Errorf("%s vc %d: count %d sum %d, want count 1 sum %d", c.name, c.vc, h.Count(), h.Sum(), c.sum)
+		}
+	}
+	// The source-interface hop must not register router pipeline stages.
+	if h := sp.reg.Histogram("span_vc_alloc", "app0", 0); h.Count() != 0 {
+		t.Error("vc_alloc histogram registered for the source interface hop")
+	}
+}
+
+func TestSpanStateReuseAcrossMessages(t *testing.T) {
+	sp := NewSpans(nil, 1.0)
+	for id := uint64(1); id <= 3; id++ {
+		m := spanMsg(id)
+		m.CreateTime = sim.Tick(id * 50)
+		driveSpan(sp, m)
+	}
+	if sp.Records() != 3 {
+		t.Fatalf("records = %d, want 3", sp.Records())
+	}
+	if len(sp.live) != 0 {
+		t.Fatalf("%d spans still live after all messages finished", len(sp.live))
+	}
+	if len(sp.free) != 1 {
+		t.Fatalf("freelist has %d entries, want 1 (serial reuse)", len(sp.free))
+	}
+}
+
+func TestUnsampledMessagesIgnored(t *testing.T) {
+	sp := NewSpans(nil, 0)
+	m := spanMsg(1)
+	sp.Start(m)
+	if len(sp.live) != 0 {
+		t.Fatal("unsampled Start left live state")
+	}
+	sp.Finish(m) // no span started: must be a silent no-op
+	if sp.Records() != 0 {
+		t.Fatal("unsampled Finish recorded a span")
+	}
+}
+
+func TestSpanStepPanics(t *testing.T) {
+	mustPanicContains(t, "without a started span", func() {
+		sp := NewSpans(nil, 1.0)
+		m := spanMsg(1)
+		sp.Step(5, m.Packets[0].Flits[0], SpanQueue)
+	})
+	mustPanicContains(t, "goes backwards", func() {
+		sp := NewSpans(nil, 1.0)
+		m := spanMsg(1)
+		m.CreateTime = 100
+		sp.Start(m)
+		sp.Step(50, m.Packets[0].Flits[0], SpanQueue)
+	})
+	mustPanicContains(t, "invalid kind", func() {
+		sp := NewSpans(nil, 1.0)
+		m := spanMsg(1)
+		sp.Start(m)
+		sp.Step(5, m.Packets[0].Flits[0], SpanEject) // eject is charged by Finish, not Step
+	})
+	mustPanicContains(t, "goes backwards", func() {
+		sp := NewSpans(nil, 1.0)
+		m := spanMsg(1)
+		sp.Start(m)
+		sp.Step(10, m.Packets[0].Flits[0], SpanQueue)
+		m.ReceiveTime = 5
+		sp.Finish(m)
+	})
+}
+
+func mustPanicContains(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestCloseWritesHeaderForEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	sp := NewSpans(&buf, 0.25)
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := ReadSpans(&buf, func(SpanRecord) error { return nil })
+	if err != nil {
+		t.Fatalf("empty stream must still parse: %v", err)
+	}
+	if hdr.Sample != 0.25 {
+		t.Fatalf("header sample = %v, want 0.25", hdr.Sample)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
+func TestReadSpansRejectsGarbageRecord(t *testing.T) {
+	in := `{"schema":"supersim-spans","version":1,"sample":1}` + "\n" + `{not json}` + "\n"
+	if _, err := ReadSpans(strings.NewReader(in), func(SpanRecord) error { return nil }); err == nil {
+		t.Fatal("garbage record line accepted")
+	}
+	if _, err := ReadSpans(strings.NewReader("{not json}\n"), func(SpanRecord) error { return nil }); err == nil {
+		t.Fatal("garbage header line accepted")
+	}
+}
+
+func TestReadSpansPropagatesCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	sp := NewSpans(&buf, 1.0)
+	driveSpan(sp, spanMsg(1))
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := false
+	_, err := ReadSpans(&buf, func(SpanRecord) error {
+		wantErr = true
+		return errStop
+	})
+	if err != errStop || !wantErr {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+var errStop = errorString("stop")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

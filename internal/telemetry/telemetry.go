@@ -45,6 +45,10 @@ type Options struct {
 	// Tracer, when non-nil, receives flit-lifecycle events from the network
 	// interfaces.
 	Tracer *Tracer
+
+	// Spans, when non-nil, records per-hop latency decompositions of sampled
+	// messages; its histograms fold into this telemetry's registry.
+	Spans *Spans
 }
 
 // Progress is the run-progress document served by the HTTP endpoint and
@@ -57,6 +61,7 @@ type Progress struct {
 	Phase     string  `json:"phase"`
 	Metrics   int     `json:"metrics"`
 	TraceEvs  uint64  `json:"trace_events,omitempty"`
+	SpanRecs  uint64  `json:"span_records,omitempty"`
 	WallSec   float64 `json:"wall_sec"`
 }
 
@@ -105,6 +110,9 @@ func Attach(s *sim.Simulator, opts Options) *Telemetry {
 			t.wc = c
 		}
 	}
+	if opts.Spans != nil {
+		opts.Spans.reg = t.reg
+	}
 	if opts.BinTicks > 0 {
 		s.ScheduleDaemon(t, sim.Time{Tick: opts.BinTicks}, evSnapshot, nil)
 	}
@@ -125,6 +133,20 @@ func (t *Telemetry) Registry() *Registry { return t.reg }
 
 // Tracer returns the attached flit tracer, or nil.
 func (t *Telemetry) Tracer() *Tracer { return t.opts.Tracer }
+
+// Spans returns the attached span recorder, or nil.
+func (t *Telemetry) Spans() *Spans { return t.opts.Spans }
+
+// SpansFor returns the simulator's span recorder, or nil when telemetry or
+// span recording is disabled. Components call it once at construction and
+// nil-guard every hook, like the For* probe constructors.
+func SpansFor(s *sim.Simulator) *Spans {
+	t := For(s)
+	if t == nil {
+		return nil
+	}
+	return t.opts.Spans
+}
 
 // SetPhase records the workload phase shown in the progress document.
 func (t *Telemetry) SetPhase(phase string) {
@@ -177,6 +199,9 @@ func (t *Telemetry) updateProgress(tick uint64) {
 	if tr := t.opts.Tracer; tr != nil {
 		p.TraceEvs = tr.Events()
 	}
+	if sp := t.opts.Spans; sp != nil {
+		p.SpanRecs = sp.Records()
+	}
 	t.lastWall, t.lastTick, t.lastEvs = wall, tick, evs
 	t.prog = p
 }
@@ -209,6 +234,11 @@ func (t *Telemetry) Close() error {
 	}
 	if tr := t.opts.Tracer; tr != nil {
 		if cerr := tr.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if sp := t.opts.Spans; sp != nil {
+		if cerr := sp.Close(); err == nil {
 			err = cerr
 		}
 	}

@@ -75,6 +75,10 @@ type Verifier struct {
 
 	credits []*CreditLedger
 	buffers []*BufferLedger
+
+	// diagnose, when set, renders a blocked-chain report appended to the
+	// watchdog's occupancy dump (see internal/diagnose).
+	diagnose func() string
 }
 
 // Attach creates a Verifier and registers it on the simulator so that
@@ -104,6 +108,12 @@ func For(s *sim.Simulator) *Verifier {
 	}
 	return nil
 }
+
+// SetDiagnoser registers a report function the watchdog calls when it fires:
+// its output is appended to the occupancy dump, turning "something is stuck"
+// into "this chain of resources is stuck, held by these flits". core.Build
+// wires the stall diagnostician here once the network exists.
+func (v *Verifier) SetDiagnoser(fn func() string) { v.diagnose = fn }
 
 // Injected returns the number of flits injected at terminals so far.
 func (v *Verifier) Injected() uint64 { return v.injected }
@@ -188,8 +198,12 @@ func (v *Verifier) ProcessEvent(ev *sim.Event) {
 		v.Panicf("unknown event type %d", ev.Type)
 	}
 	if v.activity == v.lastActivity && len(v.inFlight) > 0 {
+		report := v.OccupancyDump()
+		if v.diagnose != nil {
+			report += "\n" + v.diagnose()
+		}
 		v.Panicf("no flit movement for %d ticks with %d flits in flight — deadlock or livelock\n%s",
-			v.opts.WatchdogEpoch, len(v.inFlight), v.OccupancyDump())
+			v.opts.WatchdogEpoch, len(v.inFlight), report)
 	}
 	v.lastActivity = v.activity
 	// Re-arm only while non-daemon events are pending: a queue holding only

@@ -232,6 +232,15 @@ func TestWatchdogFiresOnStall(t *testing.T) {
 	mustPanic(t, "deadlock or livelock", func() { s.Run() })
 }
 
+func TestWatchdogAppendsDiagnoserReport(t *testing.T) {
+	s, v := newVerifier(t, Options{WatchdogEpoch: 10})
+	v.SetDiagnoser(func() string { return "chain: terminal 3 -> router 1 (deadlock)" })
+	v.FlitInjected(msg(1).Packets[0].Flits[0])
+	h := &watchdogHarness{ComponentBase: sim.NewComponentBase(s, "busy"), until: 100}
+	s.Schedule(h, sim.Time{Tick: 1}, 0, nil)
+	mustPanic(t, "chain: terminal 3 -> router 1 (deadlock)", func() { s.Run() })
+}
+
 func TestWatchdogQuietWhenNothingInFlight(t *testing.T) {
 	s, _ := newVerifier(t, Options{WatchdogEpoch: 10})
 	h := &watchdogHarness{ComponentBase: sim.NewComponentBase(s, "busy"), until: 100}

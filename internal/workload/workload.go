@@ -97,8 +97,9 @@ type Workload struct {
 	msgID uint64
 	pool  *types.Pool
 
-	// telemetry probe, nil unless attached to the simulator
+	// telemetry probe and span recorder, nil unless attached to the simulator
 	tp *telemetry.WorkloadProbe
+	sp *telemetry.Spans
 
 	// PhaseTimes records when each phase began (tick), indexed by Phase.
 	PhaseTimes [4]sim.Tick
@@ -136,6 +137,7 @@ func New(s *sim.Simulator, cfg *config.Settings, net network.Network) *Workload 
 	if w.tp = telemetry.ForWorkload(s, len(w.apps), net.NumTerminals(), net.ChannelPeriod()); w.tp != nil {
 		w.tp.Phase(Warming.String())
 	}
+	w.sp = telemetry.SpansFor(s)
 	return w
 }
 
@@ -260,6 +262,10 @@ func (d *demux) DeliverMessage(m *types.Message) {
 	}
 	if tp := d.w.tp; tp != nil {
 		tp.MessageDelivered(m.App, m.TotalFlits(), m.ReceiveTime-m.CreateTime)
+	}
+	if sp := d.w.sp; sp != nil {
+		// Close the span before the message's blocks return to the pool.
+		sp.Finish(m)
 	}
 	d.w.apps[m.App].DeliverMessage(m)
 	d.w.pool.Release(m)

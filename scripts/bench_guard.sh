@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench_guard.sh [ceiling-file]
+# bench_guard.sh [ceiling-file] [spans]
 #
 # Allocation-regression guard for the traffic hot path: runs BenchmarkFigure5
 # (the paper's end-to-end load/latency sweep point) with telemetry disabled and
@@ -9,9 +9,15 @@
 # when disabled" claim: probe hooks in the flit path must stay behind nil
 # checks that the benchmark proves allocate nothing. Lower the ceiling when an
 # optimization lands; raising it needs a justification in the PR.
+#
+# With a second argument of "spans", the guard additionally runs
+# BenchmarkFigure5Spans (span recording at full sampling) and reports its
+# numbers for EXPERIMENTS.md. That run is informational only — the ceiling is
+# never enforced against the instrumented path.
 set -eu
 
 ceiling_file=${1:-bench_ceiling.txt}
+with_spans=${2:-}
 go=${GO:-go}
 
 ceiling=$(awk '!/^[ \t]*(#|$)/ { print $1; exit }' "$ceiling_file")
@@ -36,3 +42,9 @@ if [ "$allocs" -gt "$ceiling" ]; then
     exit 1
 fi
 echo "bench-guard: OK — $allocs allocs/op <= ceiling $ceiling"
+
+if [ "$with_spans" = "spans" ]; then
+    "$go" test -run='^$' -bench='BenchmarkFigure5Spans$' -benchtime=1x -benchmem . | tee "$out"
+    spans_allocs=$(awk '/^BenchmarkFigure5Spans/ { for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")
+    echo "bench-guard: spans-enabled path allocated ${spans_allocs:-?} allocs/op (informational, not enforced)"
+fi
