@@ -1,8 +1,11 @@
 # SuperSim build/test/benchmark entry points.
 #
-#   make ci      - everything a merge must pass: build, vet, tests (which
-#                  include the fuzz seed corpora and golden-trace conformance
-#                  runs), and the race detector over every package
+#   make ci      - everything a merge must pass: build, vet, sslint, tests
+#                  (which include the fuzz seed corpora and golden-trace
+#                  conformance runs), and the race detector over every package
+#   make lint    - sslint, the simulator-aware static analysis suite
+#                  (determinism, hotpath, probeguard, factoryreg; see
+#                  cmd/sslint and TESTING.md)
 #   make cover   - per-package statement coverage against the committed floors
 #                  in coverage_floors.txt
 #   make fuzz    - short live fuzzing session on the config parsers
@@ -16,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz ci bench micro bench-guard bench-guard-spans
+.PHONY: all build vet lint test race cover fuzz ci bench micro bench-guard bench-guard-spans
 
 all: ci
 
@@ -25,6 +28,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Simulator-aware static analysis: determinism, hot-path allocation
+# discipline, probe hygiene and factory-registration coverage. The baseline
+# file holds accepted findings (currently none); stale entries fail the run.
+lint:
+	$(GO) run ./cmd/sslint -baseline sslint.baseline ./...
 
 test:
 	$(GO) test ./...
@@ -47,7 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config
 	$(GO) test -run='^$$' -fuzz=FuzzSettingsOverride -fuzztime=10s ./internal/config
 
-ci: build vet test race bench-guard
+ci: build vet lint test race bench-guard
 
 # Hot-path allocation guard: the telemetry subsystem's "zero overhead when
 # disabled" claim, enforced. See scripts/bench_guard.sh.

@@ -1,0 +1,8 @@
+// Package clean is a driver-test fixture with no findings. It is never part
+// of the build.
+package clean
+
+// Add is ordinary cold-path code no rule applies to.
+func Add(a, b int) int {
+	return a + b
+}

@@ -99,6 +99,8 @@ func (c *Channel) InFlight() int { return len(c.pending) - c.head }
 // Inject sends a flit down the channel. The caller must respect the
 // channel's bandwidth: injecting before NextSlot panics. The flit arrives at
 // the sink latency ticks later.
+//
+//sslint:hotpath
 func (c *Channel) Inject(f *types.Flit) {
 	now := c.Sim().Now()
 	if now.Tick < c.nextSlot {
@@ -119,6 +121,7 @@ func (c *Channel) Inject(f *types.Flit) {
 	}
 	f.SendTime = now.Tick
 	at := now.Tick + c.latency
+	//sslint:allow hotpath — amortized FIFO growth, compacted in ProcessEvent
 	c.pending = append(c.pending, flitFlight{at: at, f: f})
 	if !c.scheduled {
 		c.scheduled = true
@@ -127,6 +130,8 @@ func (c *Channel) Inject(f *types.Flit) {
 }
 
 // ProcessEvent delivers the head flit and re-arms for the next one.
+//
+//sslint:hotpath
 func (c *Channel) ProcessEvent(ev *sim.Event) {
 	now := c.Sim().Now().Tick
 	fl := c.pending[c.head]
@@ -203,11 +208,14 @@ func (c *CreditChannel) SetSink(sink types.CreditSink, port int) {
 func (c *CreditChannel) Latency() sim.Tick { return c.latency }
 
 // Inject sends a credit; it arrives latency ticks later.
+//
+//sslint:hotpath
 func (c *CreditChannel) Inject(cr types.Credit) {
 	if c.sink == nil {
 		c.Panicf("credit injected into unconnected channel")
 	}
 	at := c.Sim().Now().Tick + c.latency
+	//sslint:allow hotpath — amortized FIFO growth, compacted in ProcessEvent
 	c.pending = append(c.pending, creditFlight{at: at, cr: cr})
 	if !c.scheduled {
 		c.scheduled = true
@@ -216,6 +224,8 @@ func (c *CreditChannel) Inject(cr types.Credit) {
 }
 
 // ProcessEvent delivers every credit due at the current tick.
+//
+//sslint:hotpath
 func (c *CreditChannel) ProcessEvent(ev *sim.Event) {
 	now := c.Sim().Now().Tick
 	for c.head < len(c.pending) && c.pending[c.head].at == now {

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix   = "//sslint:allow"
+	hotpathMarker = "//sslint:hotpath"
+	anyPrefix     = "//sslint:"
+)
+
+// allowDirective is one parsed //sslint:allow for one rule. A single comment
+// naming several rules expands to one directive per rule, so each suppression
+// is tracked (and reported when unused) independently.
+type allowDirective struct {
+	rule string
+	file string
+	line int
+	// scopeStart/scopeEnd bound the enclosing function body when the
+	// directive sits in a function doc comment; 0 when line-scoped.
+	scopeStart, scopeEnd int
+	pos                  token.Position
+	used                 bool
+}
+
+// matches reports whether this directive suppresses the diagnostic: same
+// rule, same file, and the diagnostic sits on the directive's line, the line
+// directly below it, or inside its function scope.
+func (a *allowDirective) matches(d Diagnostic) bool {
+	if a.rule != d.Rule || a.file != d.Pos.Filename {
+		return false
+	}
+	if d.Pos.Line == a.line || d.Pos.Line == a.line+1 {
+		return true
+	}
+	return a.scopeStart != 0 && a.scopeStart <= d.Pos.Line && d.Pos.Line <= a.scopeEnd
+}
+
+// directives holds one package's parsed //sslint: comments.
+type directives struct {
+	hotpath  []*ast.FuncDecl
+	allows   []*allowDirective
+	problems []Diagnostic // malformed directives, reported under RuleDirective
+}
+
+// parseDirectives scans every comment of the package for //sslint: markers.
+func parseDirectives(p *Package) *directives {
+	d := &directives{}
+	for _, f := range p.Files {
+		// Map each doc-comment line to its function, so directives in doc
+		// comments get function scope and hotpath marks find their target.
+		docOwner := map[*ast.Comment]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docOwner[c] = fd
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !strings.HasPrefix(text, anyPrefix) {
+					continue
+				}
+				pos := p.Position(c.Pos())
+				switch {
+				case text == hotpathMarker:
+					fd := docOwner[c]
+					if fd == nil || fd.Body == nil {
+						d.problems = append(d.problems, Diagnostic{
+							Rule: RuleDirective, Pos: pos,
+							Message: "//sslint:hotpath must appear in the doc comment of a function with a body",
+						})
+						continue
+					}
+					d.hotpath = append(d.hotpath, fd)
+				case strings.HasPrefix(text, allowPrefix+" "):
+					d.parseAllow(p, c, docOwner[c], pos)
+				default:
+					d.problems = append(d.problems, Diagnostic{
+						Rule: RuleDirective, Pos: pos,
+						Message: fmt.Sprintf("unknown sslint directive %q", firstField(text)),
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseAllow validates one //sslint:allow comment and expands it into
+// per-rule directives.
+func (d *directives) parseAllow(p *Package, c *ast.Comment, owner *ast.FuncDecl, pos token.Position) {
+	rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+	ruleList, justification, _ := strings.Cut(rest, " ")
+	justification = strings.TrimSpace(strings.TrimLeft(justification, "—-: \t"))
+	if justification == "" {
+		d.problems = append(d.problems, Diagnostic{
+			Rule: RuleDirective, Pos: pos,
+			Message: "//sslint:allow requires a justification after the rule name",
+		})
+		return
+	}
+	for _, rule := range strings.Split(ruleList, ",") {
+		rule = strings.TrimSpace(rule)
+		if !KnownRule(rule) {
+			d.problems = append(d.problems, Diagnostic{
+				Rule: RuleDirective, Pos: pos,
+				Message: fmt.Sprintf("//sslint:allow names unknown rule %q (have %v)", rule, Rules()),
+			})
+			continue
+		}
+		a := &allowDirective{rule: rule, file: pos.Filename, line: pos.Line, pos: pos}
+		if owner != nil && owner.Body != nil {
+			a.scopeStart = p.Position(owner.Body.Lbrace).Line
+			a.scopeEnd = p.Position(owner.Body.Rbrace).Line
+		}
+		d.allows = append(d.allows, a)
+	}
+}
+
+func firstField(s string) string {
+	if f := strings.Fields(s); len(f) > 0 {
+		return f[0]
+	}
+	return s
+}

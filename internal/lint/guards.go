@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the nil-guard domination analysis shared by the
+// probeguard analyzer: deciding whether a call like n.tp.FlitSent(...) is
+// dominated by a nil check of n.tp. The analysis is syntactic — expressions
+// are compared by a canonical rendering — and walks the AST upward from the
+// call instead of building a CFG, which covers every guard idiom the
+// simulator uses:
+//
+//	if n.tp != nil { n.tp.FlitSent(...) }
+//	if n.sp != nil && n.sp.Tracked(f) { n.sp.Step(...) }
+//	if tp := d.w.tp; tp != nil { tp.MessageDelivered(...) }
+//	if x == nil { return }; ...; x.M()
+//	x == nil || x.M()
+//
+// A nil check of a strict index prefix also counts: a check of b.credLed
+// guards a call on b.credLed[port], because indexing a nil slice cannot be
+// nil-checked directly.
+
+// exprKey renders a restricted expression (identifiers, selector chains,
+// index expressions with simple indices, basic literals) as a canonical
+// string. It returns false for anything with evaluation side effects (calls,
+// etc.), which can never participate in guard matching.
+func exprKey(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := exprKey(x.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := exprKey(x.Index)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + idx + "]", true
+	case *ast.BasicLit:
+		return x.Value, true
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	}
+	return "", false
+}
+
+// receiverKeys returns the canonical key of a receiver expression plus the
+// keys obtained by stripping trailing index operations (b.credLed[port] ->
+// b.credLed), which are the expressions whose nil checks guard the receiver.
+func receiverKeys(e ast.Expr) []string {
+	var keys []string
+	for {
+		if k, ok := exprKey(e); ok {
+			keys = append(keys, k)
+		}
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return keys
+		}
+	}
+}
+
+// nonNilWhenTrue returns the keys of expressions known non-nil when cond is
+// true: the conjuncts of the form `x != nil`.
+func nonNilWhenTrue(cond ast.Expr) []string {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return nonNilWhenTrue(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			return append(nonNilWhenTrue(x.X), nonNilWhenTrue(x.Y)...)
+		case token.NEQ:
+			if k, ok := nilComparand(x); ok {
+				return []string{k}
+			}
+		}
+	}
+	return nil
+}
+
+// nonNilWhenFalse returns the keys of expressions known non-nil when cond is
+// false: the disjuncts of the form `x == nil`.
+func nonNilWhenFalse(cond ast.Expr) []string {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return nonNilWhenFalse(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LOR:
+			return append(nonNilWhenFalse(x.X), nonNilWhenFalse(x.Y)...)
+		case token.EQL:
+			if k, ok := nilComparand(x); ok {
+				return []string{k}
+			}
+		}
+	}
+	return nil
+}
+
+// nilComparand extracts the canonical key of the non-nil side of a
+// comparison against the nil literal.
+func nilComparand(b *ast.BinaryExpr) (string, bool) {
+	if isNilIdent(b.Y) {
+		return exprKey(b.X)
+	}
+	if isNilIdent(b.X) {
+		return exprKey(b.Y)
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilGuarded reports whether the node (a probe call) is dominated by a nil
+// check of any of the receiver keys. It walks the ancestor chain looking for
+// guarding if-statements, short-circuit && / || operands, and preceding
+// early-return guards in enclosing blocks.
+func nilGuarded(p *Package, n ast.Node, recvKeys []string) bool {
+	if len(recvKeys) == 0 {
+		return false
+	}
+	hit := func(keys []string) bool {
+		for _, k := range keys {
+			for _, r := range recvKeys {
+				if k == r {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	child := n
+	for anc := p.Parent(child); anc != nil; child, anc = anc, p.Parent(anc) {
+		switch s := anc.(type) {
+		case *ast.BinaryExpr:
+			// x != nil && x.M(...): the call in the right operand runs only
+			// when the left operand held. Dually for x == nil || x.M(...).
+			if s.Y == child {
+				if s.Op == token.LAND && hit(nonNilWhenTrue(s.X)) {
+					return true
+				}
+				if s.Op == token.LOR && hit(nonNilWhenFalse(s.X)) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if s.Body == child && hit(nonNilWhenTrue(s.Cond)) {
+				return true
+			}
+			if s.Else == child && hit(nonNilWhenFalse(s.Cond)) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Early-return guard: a preceding `if x == nil { return }` (or a
+			// body otherwise terminating) in an enclosing block dominates
+			// everything after it.
+			for _, st := range s.List {
+				if st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && ifs.Else == nil && ifs.Init == nil &&
+					terminates(ifs.Body) && hit(nonNilWhenFalse(ifs.Cond)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// terminates reports whether a block always transfers control away: its last
+// statement is a return, a panic call, or a loop/branch escape.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+		// Component panic helpers (Panicf) also never return.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Panicf" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath flags syntactic heap-allocation sources inside functions marked
+// //sslint:hotpath — the pooled message/packet/flit lifecycle and the other
+// per-flit/per-event paths whose zero-allocation property the benchmark
+// ceiling (bench_ceiling.txt) only measures in aggregate. The rule makes the
+// property local and structural: each marked function must be free of
+//
+//   - escaping composite literals (&T{...}) and slice/map literals,
+//   - make and new,
+//   - append (the growth path allocates),
+//   - function literals (closure captures allocate),
+//   - string<->[]byte/[]rune conversions,
+//   - method values (a bound-method closure allocates).
+//
+// Amortized-growth lines that are deliberate (ring-buffer doubling, free-list
+// growth) carry a //sslint:allow hotpath with a justification.
+//
+// The analysis is per-function: calls into helpers are not followed, so every
+// function on a zero-alloc path should carry its own mark.
+type Hotpath struct{}
+
+// NewHotpath returns the analyzer.
+func NewHotpath() *Hotpath { return &Hotpath{} }
+
+// Name implements Analyzer.
+func (*Hotpath) Name() string { return RuleHotpath }
+
+// Check implements Analyzer.
+func (a *Hotpath) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, fd := range p.HotpathFuncs() {
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			name = recvString(fd.Recv.List[0].Type) + "." + name
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				diags = append(diags, a.diag(p, x.Pos(), name, "function literal allocates a closure"))
+				return false // the literal's body is a different function
+			case *ast.CompositeLit:
+				if d, ok := a.checkComposite(p, x, name); ok {
+					diags = append(diags, d)
+				}
+			case *ast.CallExpr:
+				if d, ok := a.checkCall(p, x, name); ok {
+					diags = append(diags, d)
+				}
+			case *ast.SelectorExpr:
+				if d, ok := a.checkMethodValue(p, x, name); ok {
+					diags = append(diags, d)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func (a *Hotpath) diag(p *Package, pos token.Pos, fn, msg string) Diagnostic {
+	return Diagnostic{
+		Rule: RuleHotpath, Pos: p.Position(pos),
+		Message: fmt.Sprintf("%s in //sslint:hotpath function %s", msg, fn),
+	}
+}
+
+// checkComposite flags composite literals that reach the heap: any literal
+// under a unary &, and slice/map literals (their backing store always
+// allocates). Plain struct/array value literals are stack values and pass.
+func (a *Hotpath) checkComposite(p *Package, lit *ast.CompositeLit, fn string) (Diagnostic, bool) {
+	if par, ok := p.Parent(lit).(*ast.UnaryExpr); ok && par.Op == token.AND {
+		return a.diag(p, par.Pos(), fn, "composite literal escapes to the heap (&T{...})"), true
+	}
+	t := p.TypeOf(lit)
+	if t == nil {
+		return Diagnostic{}, false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return a.diag(p, lit.Pos(), fn, "slice literal allocates its backing array"), true
+	case *types.Map:
+		return a.diag(p, lit.Pos(), fn, "map literal allocates"), true
+	}
+	return Diagnostic{}, false
+}
+
+// checkCall flags the allocating builtins and allocating conversions.
+func (a *Hotpath) checkCall(p *Package, call *ast.CallExpr, fn string) (Diagnostic, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[f].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				return a.diag(p, call.Pos(), fn, "new allocates"), true
+			case "make":
+				return a.diag(p, call.Pos(), fn, "make allocates"), true
+			case "append":
+				return a.diag(p, call.Pos(), fn, "append may grow the backing array"), true
+			}
+			return Diagnostic{}, false
+		}
+	}
+	// Conversions between string and byte/rune slices copy into fresh
+	// storage.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		from := p.TypeOf(call.Args[0])
+		to := tv.Type
+		if from != nil && stringSliceConversion(from, to) {
+			return a.diag(p, call.Pos(), fn, "string/slice conversion allocates"), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func stringSliceConversion(from, to types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isSlice := func(t types.Type) bool {
+		_, ok := t.Underlying().(*types.Slice)
+		return ok
+	}
+	return (isString(from) && isSlice(to)) || (isSlice(from) && isString(to))
+}
+
+// checkMethodValue flags x.M used as a value (not called): binding the
+// receiver allocates a closure.
+func (a *Hotpath) checkMethodValue(p *Package, sel *ast.SelectorExpr, fn string) (Diagnostic, bool) {
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return Diagnostic{}, false
+	}
+	if call, ok := p.Parent(sel).(*ast.CallExpr); ok && call.Fun == sel {
+		return Diagnostic{}, false // ordinary method call
+	}
+	return a.diag(p, sel.Pos(), fn, "method value allocates a bound-method closure"), true
+}
+
+// recvString renders a receiver type expression for diagnostics.
+func recvString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvString(x.X) + ")"
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return recvString(x.X)
+	case *ast.IndexListExpr:
+		return recvString(x.X)
+	}
+	return "recv"
+}

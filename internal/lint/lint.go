@@ -1,0 +1,218 @@
+// Package lint implements sslint, a simulator-aware static analysis suite.
+//
+// SuperSim's value rests on bit-exact reproducibility: identical configs must
+// yield identical results, the zero-allocation traffic hot path must stay
+// allocation-free, and every observation probe must be free when disabled.
+// The runtime test suite (golden traces, byte-identical observation-only e2e,
+// the verify subsystem) catches violations after the fact; this package
+// catches them at lint time, as structural properties of the source.
+//
+// Four analyzers encode the repo's invariants:
+//
+//   - determinism: sim-core packages must not read the wall clock, draw from
+//     the global math/rand source, or let map iteration order feed simulation
+//     state (Determinism).
+//   - hotpath: functions marked //sslint:hotpath must not contain syntactic
+//     allocation sources (Hotpath).
+//   - probeguard: calls to telemetry/spans/verify probes must be dominated by
+//     a nil check of the receiver, preserving the disabled-path-is-free
+//     guarantee (Probeguard).
+//   - factoryreg: every concrete implementation of a factory-registered
+//     component interface must be registered in an init(), and registration
+//     names must be unique per registry (FactoryReg).
+//
+// The engine is stdlib-only: packages are loaded with go/parser and
+// type-checked with go/types using importer.ForCompiler's source importer, so
+// no external analysis framework is required.
+//
+// # Directives
+//
+// Two comment directives steer the analyzers:
+//
+//	//sslint:hotpath
+//
+// in a function's doc comment marks it for the hotpath analyzer.
+//
+//	//sslint:allow <rule>[,<rule>...] — <justification>
+//
+// suppresses findings of the named rules on the same line, the line below,
+// or (when placed in a function's doc comment) anywhere in that function.
+// The justification text is mandatory, and an allow that suppresses nothing
+// is itself reported, so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Rule names of the shipped analyzers plus the internal directive checker.
+const (
+	RuleDeterminism = "determinism"
+	RuleHotpath     = "hotpath"
+	RuleProbeguard  = "probeguard"
+	RuleFactoryReg  = "factoryreg"
+
+	// RuleDirective reports misuse of the //sslint: directives themselves:
+	// unknown rule names, missing justifications, allows that suppress
+	// nothing, and hotpath marks outside function doc comments. It is active
+	// whenever the full analyzer set runs.
+	RuleDirective = "directive"
+)
+
+// Rules returns the names of the selectable analyzers, sorted.
+func Rules() []string {
+	return []string{RuleDeterminism, RuleFactoryReg, RuleHotpath, RuleProbeguard}
+}
+
+// KnownRule reports whether name identifies a selectable analyzer.
+func KnownRule(name string) bool {
+	for _, r := range Rules() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NewAnalyzer constructs the analyzer implementing the named rule with its
+// default configuration.
+func NewAnalyzer(name string) (Analyzer, error) {
+	switch name {
+	case RuleDeterminism:
+		return NewDeterminism(), nil
+	case RuleHotpath:
+		return NewHotpath(), nil
+	case RuleProbeguard:
+		return NewProbeguard(), nil
+	case RuleFactoryReg:
+		return NewFactoryReg(), nil
+	}
+	return nil, fmt.Errorf("lint: unknown rule %q (have %v)", name, Rules())
+}
+
+// AllAnalyzers returns fresh instances of every shipped analyzer.
+func AllAnalyzers() []Analyzer {
+	out := make([]Analyzer, 0, len(Rules()))
+	for _, r := range Rules() {
+		a, err := NewAnalyzer(r)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form used by
+// the text output and the baseline file.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Analyzer is one lint rule. Check is called once per loaded package;
+// analyzers that need a whole-program view (FactoryReg) accumulate state
+// across Check calls and implement Finisher.
+type Analyzer interface {
+	// Name returns the rule identifier reported with each diagnostic.
+	Name() string
+	// Check analyzes one package and returns its diagnostics.
+	Check(p *Package) []Diagnostic
+}
+
+// Finisher is implemented by analyzers that report cross-package diagnostics
+// after every package has been checked.
+type Finisher interface {
+	Finish() []Diagnostic
+}
+
+// Runner drives a set of analyzers over loaded packages and applies the
+// //sslint:allow suppression pass.
+type Runner struct {
+	// Analyzers to run. Use AllAnalyzers for the full suite.
+	Analyzers []Analyzer
+	// CheckDirectives enables the RuleDirective meta-findings (malformed
+	// directives and allows that suppressed nothing). It should be true only
+	// when the full analyzer set runs — with a rule subset, allows for the
+	// disabled rules would be falsely reported as unused.
+	CheckDirectives bool
+}
+
+// Run checks every package with every analyzer, applies suppression, and
+// returns the surviving diagnostics sorted by position.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range r.Analyzers {
+			diags = append(diags, a.Check(p)...)
+		}
+	}
+	for _, a := range r.Analyzers {
+		if f, ok := a.(Finisher); ok {
+			diags = append(diags, f.Finish()...)
+		}
+	}
+
+	// Suppression: an allow directive absorbs matching diagnostics; the
+	// directive problems (and unused allows) are findings of their own.
+	var allows []*allowDirective
+	for _, p := range pkgs {
+		allows = append(allows, p.directives.allows...)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.matches(d) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	if r.CheckDirectives {
+		for _, p := range pkgs {
+			diags = append(diags, p.directives.problems...)
+		}
+		for _, a := range allows {
+			if !a.used {
+				diags = append(diags, Diagnostic{
+					Rule: RuleDirective,
+					Pos:  a.pos,
+					Message: fmt.Sprintf(
+						"//sslint:allow %s suppresses nothing — remove it", a.rule),
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

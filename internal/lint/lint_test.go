@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// All fixture loads share one Loader so stdlib and repo dependencies are
+// type-checked once per test binary, and one cache so a fixture is loaded at
+// most once per import path.
+var (
+	loaderMu sync.Mutex
+	loader   *Loader
+	pkgCache = map[string]*Package{}
+)
+
+func loadFixture(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if loader == nil {
+		loader = NewLoader()
+	}
+	if p, ok := pkgCache[importPath]; ok {
+		return p
+	}
+	p, err := loader.Load(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s as %s: %v", name, importPath, err)
+	}
+	pkgCache[importPath] = p
+	return p
+}
+
+// want comments mark expected diagnostics in fixture files:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each backquoted string is a regexp that must match a diagnostic rendered as
+// "message [rule]" on the comment's line, and every diagnostic must match
+// some want.
+var (
+	wantRE     = regexp.MustCompile("want ((?:`[^`]*`)(?:\\s+`[^`]*`)*)")
+	wantItemRE = regexp.MustCompile("`[^`]*`")
+)
+
+type want struct {
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, p *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := p.Position(c.Pos()).Line
+				for _, item := range wantItemRE.FindAllString(m[1], -1) {
+					re, err := regexp.Compile(item[1 : len(item)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", p.ImportPath, line, item, err)
+					}
+					wants = append(wants, &want{line: line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: fixture has no want comments", p.ImportPath)
+	}
+	return wants
+}
+
+// runWantTest runs the analyzers (with directive checking, as the driver
+// does) and matches the surviving diagnostics against the fixture's want
+// comments in both directions.
+func runWantTest(t *testing.T, p *Package, analyzers []Analyzer) {
+	t.Helper()
+	r := &Runner{Analyzers: analyzers, CheckDirectives: true}
+	diags := r.Run([]*Package{p})
+	if len(diags) == 0 {
+		t.Fatalf("%s: analyzers produced no diagnostics at all — the rule is vacuous", p.ImportPath)
+	}
+	wants := collectWants(t, p)
+	for _, d := range diags {
+		text := d.Message + " [" + d.Rule + "]"
+		matched := false
+		for _, w := range wants {
+			if w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matching %q on line %d", p.ImportPath, w.re, w.line)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// Loaded under a sim-core import path: the fixture plays an internal/sim
+	// subpackage.
+	p := loadFixture(t, "determinism", "supersim/internal/sim/lintfixture")
+	runWantTest(t, p, []Analyzer{NewDeterminism()})
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// The same files outside the sim-core prefixes produce nothing.
+	p := loadFixture(t, "determinism", "supersim/internal/lint/testdata/src/determinism")
+	if diags := NewDeterminism().Check(p); len(diags) != 0 {
+		t.Fatalf("determinism fired outside sim-core: %v", diags)
+	}
+}
+
+func TestHotpathFixture(t *testing.T) {
+	p := loadFixture(t, "hotpath", "supersim/internal/lint/testdata/src/hotpath")
+	runWantTest(t, p, []Analyzer{NewHotpath()})
+}
+
+func TestProbeguardFixture(t *testing.T) {
+	p := loadFixture(t, "probeguard", "supersim/internal/lint/testdata/src/probeguard")
+	runWantTest(t, p, []Analyzer{NewProbeguard()})
+}
+
+func TestFactoryregFixture(t *testing.T) {
+	p := loadFixture(t, "factoryreg", "supersim/internal/lint/testdata/src/factoryreg")
+	runWantTest(t, p, []Analyzer{NewFactoryReg()})
+}
+
+func TestProbeguardExemptPackages(t *testing.T) {
+	// Inside a probe-defining package the receivers are the probes themselves.
+	p := loadFixture(t, "probeguard", "supersim/internal/lint/testdata/src/probeguard")
+	a := NewProbeguard()
+	a.ExemptPackages = append(a.ExemptPackages, p.ImportPath)
+	if diags := a.Check(p); len(diags) != 0 {
+		t.Fatalf("probeguard fired in an exempt package: %v", diags)
+	}
+}
+
+func TestDirectiveProblems(t *testing.T) {
+	p := loadFixture(t, "directive", "supersim/internal/lint/testdata/src/directive")
+	wantSubstr := []string{
+		"requires a justification",
+		`unknown rule "nosuchrule"`,
+		`unknown sslint directive "//sslint:frobnicate"`,
+		"doc comment of a function",
+	}
+	probs := p.directives.problems
+	if len(probs) != len(wantSubstr) {
+		t.Fatalf("got %d directive problems, want %d: %v", len(probs), len(wantSubstr), probs)
+	}
+	for i, sub := range wantSubstr {
+		if !strings.Contains(probs[i].Message, sub) {
+			t.Errorf("problem %d = %q, want substring %q", i, probs[i].Message, sub)
+		}
+		if probs[i].Rule != RuleDirective {
+			t.Errorf("problem %d rule = %q, want %q", i, probs[i].Rule, RuleDirective)
+		}
+	}
+	// The problems surface through Runner.Run only when directive checking is
+	// on, and never from a rule-subset run.
+	if diags := (&Runner{Analyzers: []Analyzer{NewHotpath()}}).Run([]*Package{p}); len(diags) != 0 {
+		t.Errorf("rule-subset run leaked directive problems: %v", diags)
+	}
+	if diags := (&Runner{Analyzers: AllAnalyzers(), CheckDirectives: true}).Run([]*Package{p}); len(diags) != len(wantSubstr) {
+		t.Errorf("full run reported %d diagnostics, want %d: %v", len(diags), len(wantSubstr), diags)
+	}
+}
+
+func TestNewAnalyzer(t *testing.T) {
+	for _, r := range Rules() {
+		a, err := NewAnalyzer(r)
+		if err != nil {
+			t.Fatalf("NewAnalyzer(%q): %v", r, err)
+		}
+		if a.Name() != r {
+			t.Errorf("NewAnalyzer(%q).Name() = %q", r, a.Name())
+		}
+	}
+	if _, err := NewAnalyzer("bogus"); err == nil {
+		t.Fatal("NewAnalyzer accepted an unknown rule")
+	}
+	if !KnownRule(RuleHotpath) || KnownRule("bogus") || KnownRule(RuleDirective) {
+		t.Fatal("KnownRule misclassifies")
+	}
+}
+
+func TestLoadErrNoGoFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewLoader().Load(dir, "example.com/empty"); err == nil {
+		t.Fatal("Load of an empty directory succeeded")
+	}
+}

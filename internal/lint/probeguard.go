@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// probeType names one observation-probe type by defining package and type
+// name. Matching is by name rather than object identity so it works across
+// the independent type-checking universes of separately loaded packages.
+type probeType struct {
+	Pkg  string
+	Name string
+}
+
+// DefaultProbeTypes are the observation-probe types whose methods must only
+// be called behind a nil check of the receiver: the telemetry probes and
+// span recorder (PRs 3–4) and the verify ledgers (PR 2). Their constructors
+// return nil when the subsystem is not attached, and the disabled-path-is-
+// free guarantee rests on every call site guarding for that.
+var DefaultProbeTypes = []probeType{
+	{"supersim/internal/telemetry", "ChannelProbe"},
+	{"supersim/internal/telemetry", "RouterProbe"},
+	{"supersim/internal/telemetry", "IfaceProbe"},
+	{"supersim/internal/telemetry", "WorkloadProbe"},
+	{"supersim/internal/telemetry", "Spans"},
+	{"supersim/internal/telemetry", "Tracer"},
+	{"supersim/internal/verify", "Verifier"},
+	{"supersim/internal/verify", "CreditLedger"},
+	{"supersim/internal/verify", "BufferLedger"},
+}
+
+// DefaultProbeExemptPackages are the packages that define the probes: inside
+// them, methods legitimately run on receivers the package itself guarantees
+// non-nil.
+var DefaultProbeExemptPackages = []string{
+	"supersim/internal/telemetry",
+	"supersim/internal/verify",
+}
+
+// Probeguard enforces probe hygiene: every call to a method of a probe type
+// must be dominated by a nil check of the receiver expression (or of an
+// index prefix of it — see guards.go for the accepted idioms). A probe call
+// without the guard either crashes observation-disabled runs or silently
+// depends on a guard of a *different* field that merely happens to be
+// created together with the receiver.
+type Probeguard struct {
+	// Probes are the guarded types.
+	Probes []probeType
+	// ExemptPackages are skipped entirely (the probe-defining packages).
+	ExemptPackages []string
+}
+
+// NewProbeguard returns the analyzer with the repo's default probe set.
+func NewProbeguard() *Probeguard {
+	return &Probeguard{Probes: DefaultProbeTypes, ExemptPackages: DefaultProbeExemptPackages}
+}
+
+// Name implements Analyzer.
+func (*Probeguard) Name() string { return RuleProbeguard }
+
+func (a *Probeguard) isProbe(t types.Type) (probeType, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return probeType{}, false
+	}
+	got := probeType{Pkg: named.Obj().Pkg().Path(), Name: named.Obj().Name()}
+	for _, want := range a.Probes {
+		if got == want {
+			return got, true
+		}
+	}
+	return probeType{}, false
+}
+
+// Check implements Analyzer.
+func (a *Probeguard) Check(p *Package) []Diagnostic {
+	for _, exempt := range a.ExemptPackages {
+		if p.ImportPath == exempt {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.Info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true // package-qualified call or field access
+			}
+			pt, ok := a.isProbe(s.Recv())
+			if !ok {
+				return true
+			}
+			recv := sel.X
+			if provablyNonNil(recv) {
+				return true
+			}
+			if nilGuarded(p, call, receiverKeys(recv)) {
+				return true
+			}
+			recvText := types.ExprString(recv)
+			diags = append(diags, Diagnostic{
+				Rule: RuleProbeguard, Pos: p.Position(call.Pos()),
+				Message: fmt.Sprintf(
+					"call to (*%s.%s).%s is not dominated by a nil check of %s — probes are nil when observation is disabled",
+					shortPkg(pt.Pkg), pt.Name, sel.Sel.Name, recvText),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// provablyNonNil reports whether the receiver expression cannot be nil by
+// construction: taking the address of a composite literal or of a variable.
+func provablyNonNil(e ast.Expr) bool {
+	if par, ok := e.(*ast.ParenExpr); ok {
+		return provablyNonNil(par.X)
+	}
+	u, ok := e.(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+func shortPkg(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

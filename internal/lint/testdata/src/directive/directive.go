@@ -1,0 +1,16 @@
+// Package lintfixture exercises the directive meta-rule: every //sslint:
+// comment below is malformed in a distinct way. The expected problems are
+// asserted explicitly in TestDirectiveProblems (a malformed directive cannot
+// carry a trailing want marker without changing what is parsed).
+package lintfixture
+
+//sslint:allow determinism
+func missingJustification() {}
+
+//sslint:allow nosuchrule — the rule name does not exist
+func unknownRule() {}
+
+//sslint:frobnicate
+func unknownDirective() {}
+
+var notAFunc = 1 //sslint:hotpath

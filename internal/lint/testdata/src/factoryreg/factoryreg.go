@@ -1,0 +1,54 @@
+// Package lintfixture exercises the factoryreg analyzer against the real
+// factory package; it is never part of the build (the duplicate registration
+// below would panic if it ever ran).
+package lintfixture
+
+import "supersim/internal/factory"
+
+// Widget is the fixture's component interface.
+type Widget interface {
+	Spin(int) int
+}
+
+// Ctor is the constructor type the fixture registry holds.
+type Ctor func(scale int) Widget
+
+// Registry is the fixture's component registry.
+var Registry = factory.NewRegistry[Ctor]("widget")
+
+// Good is registered through a named constructor.
+type Good struct{}
+
+func (*Good) Spin(x int) int { return x }
+
+// NewGood constructs a Good.
+func NewGood(scale int) Widget { return &Good{} }
+
+// Inline is registered through a function literal.
+type Inline struct{ bias int }
+
+func (i *Inline) Spin(x int) int { return x + i.bias }
+
+func init() {
+	Registry.Register("good", NewGood)
+	Registry.Register("inline", func(scale int) Widget { return &Inline{bias: scale} })
+	Registry.Register("dup", NewGood)
+	Registry.Register("dup", NewGood) // want `duplicate registration name "dup"`
+}
+
+// Bad implements Widget but nothing registers it.
+type Bad struct{} // want `Bad implements factoryreg\.Widget but is not registered`
+
+func (*Bad) Spin(x int) int { return x + 1 }
+
+// NotAWidget does not implement Widget and must not be reported.
+type NotAWidget struct{}
+
+func registerLate() {
+	Registry.Register("late", NewGood) // want `must be called from an init\(\)`
+}
+
+func init() {
+	name := "computed"
+	Registry.Register(name, NewGood) // want `must be a string literal`
+}

@@ -1,0 +1,66 @@
+// Package lintfixture exercises the hotpath analyzer. Only the functions
+// marked //sslint:hotpath are checked; it is never part of the build.
+package lintfixture
+
+type ring struct {
+	buf  []int
+	head int
+	tail int
+	n    int
+}
+
+//sslint:hotpath
+func (r *ring) pop() (int, bool) { // clean hot function: no findings
+	if r.n == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	var scratch ring // a value composite stays on the stack: no finding
+	_ = scratch
+	return v, true
+}
+
+//sslint:hotpath
+func (r *ring) push(v int) {
+	if r.n == len(r.buf) {
+		//sslint:allow hotpath — fixture: amortized ring growth is deliberate
+		r.buf = append(r.buf, 0)
+		r.tail = r.n
+	}
+	r.buf[r.tail] = v
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.n++
+}
+
+//sslint:hotpath
+func escapes() *ring {
+	return &ring{} // want `composite literal escapes to the heap`
+}
+
+//sslint:hotpath
+func allocators() {
+	s := make([]int, 4) // want `make allocates`
+	s = append(s, 1)    // want `append may grow the backing array`
+	_ = s
+	p := new(ring) // want `new allocates`
+	_ = p
+	lit := []int{1, 2} // want `slice literal allocates its backing array`
+	_ = lit
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	f := func() {} // want `function literal allocates a closure`
+	f()
+	b := []byte("hi") // want `string/slice conversion allocates`
+	_ = b
+}
+
+//sslint:hotpath
+func methodValue(r *ring) func() (int, bool) {
+	return r.pop // want `method value allocates a bound-method closure`
+}
+
+func unmarked() []int {
+	return append(append([]int{}, 1), 2) // unmarked function: no findings
+}

@@ -1,0 +1,64 @@
+// Package lintfixture exercises the probeguard analyzer against the verify
+// ledgers (the cheapest real probe types to type-check); it is never part of
+// the build.
+package lintfixture
+
+import "supersim/internal/verify"
+
+type node struct {
+	v    *verify.Verifier
+	cl   *verify.CreditLedger
+	leds []*verify.BufferLedger
+}
+
+func (n *node) unguarded() {
+	n.v.FlitInjected(nil) // want `not dominated by a nil check of n\.v`
+}
+
+func (n *node) guardedIf() {
+	if n.v != nil {
+		n.v.FlitInjected(nil)
+	}
+}
+
+func (n *node) guardedEarlyReturn() {
+	if n.v == nil {
+		return
+	}
+	n.v.FlitRetired(nil)
+}
+
+func (n *node) guardedShortCircuit() bool {
+	return n.v != nil && n.v.InFlight() > 0
+}
+
+func (n *node) guardedDisjunction() bool {
+	return n.v == nil || n.v.InFlight() == 0
+}
+
+func (n *node) guardedInit() {
+	if cl := n.cl; cl != nil {
+		cl.Credit(0, 0)
+	}
+}
+
+func (n *node) guardedElse() {
+	if n.cl == nil {
+		return
+	} else {
+		n.cl.Debit(0, 0)
+	}
+}
+
+func (n *node) wrongGuard() {
+	if n.v != nil {
+		n.cl.Credit(0, 1) // want `nil check of n\.cl`
+	}
+}
+
+func (n *node) indexPrefix(port int) {
+	if n.leds != nil {
+		n.leds[port].Arrive(0)
+	}
+	n.leds[port].Free(0) // want `nil check of n\.leds\[port\]`
+}

@@ -51,7 +51,9 @@ type eventHeap struct {
 
 func (h *eventHeap) len() int { return len(h.a) }
 
+//sslint:hotpath
 func (h *eventHeap) push(e *Event) {
+	//sslint:allow hotpath — amortized heap growth, bounded by the pending-event high-water mark
 	h.a = append(h.a, heapEntry{tick: e.Time.Tick, eps: e.Time.Eps, seq: e.seq, ev: e})
 	// sift up
 	a := h.a
@@ -68,6 +70,7 @@ func (h *eventHeap) push(e *Event) {
 	a[i] = item
 }
 
+//sslint:hotpath
 func (h *eventHeap) pop() *Event {
 	a := h.a
 	n := len(a)
@@ -100,6 +103,7 @@ func (h *eventHeap) pop() *Event {
 	return top
 }
 
+//sslint:hotpath
 func (h *eventHeap) peek() *Event {
 	if len(h.a) == 0 {
 		return nil

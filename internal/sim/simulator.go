@@ -107,6 +107,7 @@ func (s *Simulator) ScheduleDaemon(h Handler, t Time, typ int, ctx any) {
 	s.schedule(h, t, typ, ctx, true)
 }
 
+//sslint:hotpath
 func (s *Simulator) schedule(h Handler, t Time, typ int, ctx any, daemon bool) {
 	if h == nil {
 		panic("sim: Schedule with nil handler")
@@ -119,6 +120,7 @@ func (s *Simulator) schedule(h Handler, t Time, typ int, ctx any, daemon bool) {
 		e = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
+		//sslint:allow hotpath — cold miss path: the event free list absorbs steady-state traffic
 		e = &Event{}
 	}
 	e.Time = t
