@@ -11,15 +11,18 @@
 #   make fuzz    - short live fuzzing session on the config parsers
 #   make bench   - the paper's table/figure benchmark suite with -benchmem
 #   make micro   - the standalone hot-structure micro-benchmarks
-#   make bench-guard - allocation-regression guard: BenchmarkFigure5 with
-#                  telemetry disabled must stay under the ceiling committed
-#                  in bench_ceiling.txt
+#   make bench-guard - allocation-regression guard: BenchmarkFigure5 (and the
+#                  explicit workers=1 path) with telemetry disabled must stay
+#                  under the ceiling committed in bench_ceiling.txt
 #   make bench-guard-spans - the guard plus an informational run of the
 #                  span-instrumented BenchmarkFigure5Spans (never enforced)
+#   make bench-parallel - the Figure 5 transient at -workers 1/2/4 on the
+#                  sharded engine (wall-clock is informational and
+#                  hardware-dependent; results are identical at every count)
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz ci bench micro bench-guard bench-guard-spans
+.PHONY: all build vet lint test race cover fuzz ci bench micro bench-guard bench-guard-spans bench-parallel
 
 all: ci
 
@@ -67,6 +70,12 @@ bench-guard:
 # (reported informationally, recorded in EXPERIMENTS.md; not part of ci).
 bench-guard-spans:
 	sh scripts/bench_guard.sh bench_ceiling.txt spans
+
+# Serial-vs-parallel wall-clock on the Figure 5 transient. Informational:
+# speedup depends on the host's core count (see EXPERIMENTS.md); correctness
+# at every worker count is enforced by the golden-conformance tests instead.
+bench-parallel:
+	$(GO) test -run='^$$' -bench='BenchmarkFigure5Workers' -benchtime=1x -benchmem .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .

@@ -30,6 +30,11 @@
 // /debug/vars) while the simulation executes. Modifier flags set without the
 // flag they modify (-trace-sample without -trace, -spans-sample without
 // -spans, -telemetry-bin with no telemetry consumer) are rejected up front.
+//
+// -workers N executes the simulation on N parallel shards coordinated by the
+// conservative lookahead engine (see DESIGN.md); results are byte-identical
+// to the default serial run. The single-stream recorders -trace and -spans
+// are serial-only and rejected with -workers > 1.
 package main
 
 import (
@@ -61,10 +66,11 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of messages to trace, 0..1")
 	spansPath := flag.String("spans", "", "write per-message latency decompositions (spans JSONL) to this file (implies -telemetry)")
 	spansSample := flag.Float64("spans-sample", 1.0, "fraction of messages to span-record, 0..1")
+	workers := flag.Uint("workers", 1, "run the simulation on N parallel shards (results are identical to -workers 1)")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateFlags(set); err != nil {
+	if err := validateFlags(set, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "supersim:", err)
 		os.Exit(2)
 	}
@@ -98,6 +104,7 @@ func main() {
 		traceSample:   *traceSample,
 		spansPath:     *spansPath,
 		spansSample:   *spansSample,
+		workers:       *workers,
 	})
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
@@ -134,13 +141,15 @@ type runOpts struct {
 	traceSample   float64
 	spansPath     string
 	spansSample   float64
+	workers       uint
 }
 
 // validateFlags rejects combinations where a modifier flag was set on the
 // command line but the flag it modifies is absent: silently ignoring the
 // modifier would make the run look correctly configured while producing none
-// of the requested output, so fail fast instead.
-func validateFlags(set map[string]bool) error {
+// of the requested output, so fail fast instead. It also rejects -workers > 1
+// combined with the serial-only single-stream recorders.
+func validateFlags(set map[string]bool, workers uint) error {
 	if set["trace-sample"] && !set["trace"] {
 		return fmt.Errorf("-trace-sample has no effect without -trace")
 	}
@@ -152,6 +161,9 @@ func validateFlags(set map[string]bool) error {
 		!set["trace"] && !set["spans"] {
 		return fmt.Errorf("-telemetry-bin has no effect without -telemetry, -telemetry-file, -telemetry-addr, -trace, or -spans")
 	}
+	if workers > 1 && (set["trace"] || set["spans"]) {
+		return fmt.Errorf("-workers > 1 does not support -trace or -spans (single-stream recorders are serial-only)")
+	}
 	return nil
 }
 
@@ -160,6 +172,11 @@ func validateFlags(set map[string]bool) error {
 func (o *runOpts) apply(cfg *config.Settings) error {
 	if o.verify {
 		if err := cfg.ApplyOverride("simulation.verify.enabled=bool=true"); err != nil {
+			return err
+		}
+	}
+	if o.workers > 1 {
+		if err := cfg.ApplyOverride(fmt.Sprintf("simulation.workers=uint=%d", o.workers)); err != nil {
 			return err
 		}
 	}

@@ -22,25 +22,35 @@ func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name    string
 		set     map[string]bool
+		workers uint
 		wantErr string // empty = valid
 	}{
-		{"no flags", setOf(), ""},
-		{"trace with sample", setOf("trace", "trace-sample"), ""},
-		{"trace-sample alone", setOf("trace-sample"), "-trace-sample"},
-		{"spans with sample", setOf("spans", "spans-sample"), ""},
-		{"spans-sample alone", setOf("spans-sample"), "-spans-sample"},
-		{"spans-sample with only trace", setOf("trace", "spans-sample"), "-spans-sample"},
-		{"bin alone", setOf("telemetry-bin"), "-telemetry-bin"},
-		{"bin with log only", setOf("telemetry-bin", "log"), "-telemetry-bin"},
-		{"bin with telemetry", setOf("telemetry-bin", "telemetry"), ""},
-		{"bin with telemetry-file", setOf("telemetry-bin", "telemetry-file"), ""},
-		{"bin with telemetry-addr", setOf("telemetry-bin", "telemetry-addr"), ""},
-		{"bin with trace", setOf("telemetry-bin", "trace"), ""},
-		{"bin with spans", setOf("telemetry-bin", "spans"), ""},
+		{"no flags", setOf(), 1, ""},
+		{"trace with sample", setOf("trace", "trace-sample"), 1, ""},
+		{"trace-sample alone", setOf("trace-sample"), 1, "-trace-sample"},
+		{"spans with sample", setOf("spans", "spans-sample"), 1, ""},
+		{"spans-sample alone", setOf("spans-sample"), 1, "-spans-sample"},
+		{"spans-sample with only trace", setOf("trace", "spans-sample"), 1, "-spans-sample"},
+		{"bin alone", setOf("telemetry-bin"), 1, "-telemetry-bin"},
+		{"bin with log only", setOf("telemetry-bin", "log"), 1, "-telemetry-bin"},
+		{"bin with telemetry", setOf("telemetry-bin", "telemetry"), 1, ""},
+		{"bin with telemetry-file", setOf("telemetry-bin", "telemetry-file"), 1, ""},
+		{"bin with telemetry-addr", setOf("telemetry-bin", "telemetry-addr"), 1, ""},
+		{"bin with trace", setOf("telemetry-bin", "trace"), 1, ""},
+		{"bin with spans", setOf("telemetry-bin", "spans"), 1, ""},
+		{"workers serial with trace", setOf("trace", "workers"), 1, ""},
+		{"workers parallel", setOf("workers"), 4, ""},
+		{"workers parallel with telemetry", setOf("workers", "telemetry"), 4, ""},
+		{"workers parallel with trace", setOf("trace", "workers"), 2, "-workers"},
+		{"workers parallel with spans", setOf("spans", "workers"), 2, "-workers"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.set)
+			workers := c.workers
+			if workers == 0 {
+				workers = 1
+			}
+			err := validateFlags(c.set, workers)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -68,6 +78,25 @@ func TestApplyMapsSpansFlags(t *testing.T) {
 	}
 	if got := cfg.FloatOr("simulation.telemetry.spans_sample", -1); got != 0.25 {
 		t.Fatalf("spans_sample = %v", got)
+	}
+}
+
+func TestApplyMapsWorkersFlag(t *testing.T) {
+	cfg := config.New()
+	o := runOpts{workers: 4, telemetryBin: 1000, traceSample: 1.0}
+	if err := o.apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.UIntOr("simulation.workers", 1); got != 4 {
+		t.Fatalf("simulation.workers = %d, want 4", got)
+	}
+	cfg = config.New()
+	o = runOpts{workers: 1, telemetryBin: 1000, traceSample: 1.0}
+	if err := o.apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Has("simulation.workers") {
+		t.Fatal("-workers 1 must leave simulation.workers unset (config file wins)")
 	}
 }
 

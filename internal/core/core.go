@@ -44,6 +44,11 @@ type Simulation struct {
 	Workload  *workload.Workload
 	Verify    *verify.Verifier     // nil unless simulation.verify.enabled
 	Telemetry *telemetry.Telemetry // nil unless simulation.telemetry.enabled
+
+	// Shards is the parallel partition (simulation.workers > 1), or nil for
+	// a serial simulation. Shard 0 is the host shard.
+	Shards []*Shard
+	engine *sim.Engine
 }
 
 // Build assembles a simulation from the full settings document. It panics
@@ -133,7 +138,21 @@ func Build(cfg *config.Settings) *Simulation {
 		// pointers (aliasing bugs) are caught by the generation sentinel.
 		w.Pool().SetObserver(v)
 	}
-	return &Simulation{Sim: s, Net: net, Workload: w, Verify: v, Telemetry: tel}
+	sm := &Simulation{Sim: s, Net: net, Workload: w, Verify: v, Telemetry: tel}
+	// Opt-in parallel execution: "simulation": {"workers": N} partitions the
+	// routers across N-1 shards coordinated by the conservative engine, with
+	// results byte-identical to the serial path (workers <= 1, the default).
+	if workers := int(cfg.UIntOr("simulation.workers", 1)); workers > 1 {
+		if cfg.StringOr("simulation.telemetry.trace_file", "") != "" ||
+			cfg.StringOr("simulation.telemetry.spans_file", "") != "" ||
+			cfg.FloatOr("simulation.telemetry.spans_sample", 0) > 0 {
+			// Tracing and span recording are single-stream observers with
+			// per-flit mutable state; they are serial-only for now.
+			panic("core: simulation.workers > 1 does not support trace/span recording — run those with workers = 1")
+		}
+		attachParallel(sm, workers)
+	}
+	return sm
 }
 
 // BuildE is Build with panics recovered into errors.
@@ -148,8 +167,8 @@ func BuildE(cfg *config.Settings) (sm *Simulation, err error) {
 
 // Result summarizes a completed run.
 type Result struct {
-	Events  uint64   // events executed
-	EndTick sim.Tick // simulated time at completion
+	Events  uint64   // non-daemon events executed
+	EndTick sim.Tick // time of the last non-daemon event — the logical end
 	Drained bool     // the workload reached the draining phase
 }
 
@@ -164,10 +183,17 @@ func (sm *Simulation) Run() (Result, error) {
 		// exactly what the diagnosis needs.
 		defer sm.Telemetry.Close()
 	}
-	events := sm.Sim.Run()
+	var events uint64
+	var end sim.Time
+	if sm.engine != nil {
+		events, end = sm.engine.Run()
+	} else {
+		events = sm.Sim.Run()
+		end = sm.Sim.LastWork()
+	}
 	res := Result{
 		Events:  events,
-		EndTick: sm.Sim.Now().Tick,
+		EndTick: end.Tick,
 		Drained: sm.Workload.Phase() == workload.Draining,
 	}
 	if !res.Drained {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"supersim/internal/config"
@@ -114,6 +115,11 @@ func TestRandomizedConfigSweep(t *testing.T) {
 	for i := 0; i < runs; i++ {
 		g := gens[rng.IntN(len(gens))]
 		net := g.net()
+		// Alternate worker counts across the sweep so the randomized configs
+		// also exercise the sharded parallel engine (including under -race
+		// via `make race`); every parallel run is additionally compared
+		// against its serial twin below.
+		workers := []int{1, 2, 3, 4}[i%4]
 		doc := fmt.Sprintf(`{
 		  "simulation": {
 		    "seed": %d,
@@ -132,7 +138,7 @@ func TestRandomizedConfigSweep(t *testing.T) {
 		    }]
 		  }
 		}`, rng.Uint64N(1<<20)+1, net, rates[rng.IntN(len(rates))], pick(1, 2, 4))
-		t.Run(fmt.Sprintf("run%02d_%s", i, g.topo), func(t *testing.T) {
+		t.Run(fmt.Sprintf("run%02d_%s_w%d", i, g.topo, workers), func(t *testing.T) {
 			sm := Build(config.MustParse(doc))
 			res, err := sm.Run()
 			if err != nil {
@@ -151,6 +157,36 @@ func TestRandomizedConfigSweep(t *testing.T) {
 			}
 			if sm.Verify.InFlight() != 0 {
 				t.Fatalf("%d flits still in flight after drain", sm.Verify.InFlight())
+			}
+			if workers == 1 {
+				return
+			}
+			// Parallel twin: the same document on the sharded engine must
+			// reproduce the serial run exactly — same event count, end tick,
+			// conservation totals, and sampled latency distribution.
+			pcfg := config.MustParse(doc)
+			pcfg.Set("simulation.workers", uint64(workers))
+			pm := Build(pcfg)
+			if pm.Shards == nil {
+				t.Fatalf("workers=%d did not produce a parallel partition", workers)
+			}
+			pres, err := pm.Run()
+			if err != nil {
+				t.Fatalf("parallel (workers=%d) config:\n%s\nerror: %v", workers, doc, err)
+			}
+			if pres != res {
+				t.Fatalf("parallel result diverged (workers=%d): serial %+v, parallel %+v",
+					workers, res, pres)
+			}
+			pblast := pm.Workload.App(0).(*apps.Blast)
+			if pm.Verify.Injected() != sm.Verify.Injected() || pm.Verify.Retired() != sm.Verify.Retired() {
+				t.Fatalf("parallel conservation diverged: serial %d/%d, parallel %d/%d",
+					sm.Verify.Injected(), sm.Verify.Retired(), pm.Verify.Injected(), pm.Verify.Retired())
+			}
+			sh, ph := histogram(blast.Stats().Samples()), histogram(pblast.Stats().Samples())
+			if !reflect.DeepEqual(sh, ph) {
+				t.Fatalf("parallel latency histogram diverged (workers=%d):\nserial:   %v\nparallel: %v",
+					workers, sh, ph)
 			}
 		})
 	}

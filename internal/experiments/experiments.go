@@ -39,6 +39,12 @@ type Options struct {
 	// JSONL stream). BenchmarkFigure5Spans uses this to measure the
 	// instrumented hot path against the disabled-path bench-guard ceiling.
 	SpansSample float64
+
+	// Workers, when positive, sets simulation.workers on every simulation
+	// the experiment runs: 1 pins the explicit serial path (the bench-guard
+	// enforces its allocation ceiling there), > 1 runs that many parallel
+	// shards with results identical to the serial run (`make bench-parallel`).
+	Workers uint64
 }
 
 func (o Options) seed() uint64 {
@@ -56,6 +62,9 @@ func (o Options) prep(cfg *config.Settings) *config.Settings {
 	if o.SpansSample > 0 {
 		cfg.Set("simulation.telemetry.enabled", true)
 		cfg.Set("simulation.telemetry.spans_sample", o.SpansSample)
+	}
+	if o.Workers > 0 {
+		cfg.Set("simulation.workers", o.Workers)
 	}
 	return cfg
 }

@@ -33,6 +33,16 @@ var DefaultWallClockAllow = []string{
 	"internal/sim/progress.go",
 }
 
+// DefaultConcurrencyAllow lists file-path suffixes exempt from the
+// concurrency check: the conservative parallel engine, whose goroutines are
+// the one sanctioned concurrency in sim-core (its determinism is proven by
+// the serial/parallel conformance oracle, not by absence of threads), and the
+// progress monitor's expvar once-guard (observation-only).
+var DefaultConcurrencyAllow = []string{
+	"internal/sim/parallel.go",
+	"internal/sim/progress.go",
+}
+
 // Determinism enforces that sim-core packages stay bit-exact reproducible:
 //
 //   - no wall-clock reads (time.Now, time.Since, time.Until);
@@ -43,17 +53,28 @@ var DefaultWallClockAllow = []string{
 //     its body is provably order-insensitive: commutative accumulation
 //     (x++, x += e, x |= e, ...), deletes, or writes to another map keyed by
 //     the iteration key. Everything else must iterate over sorted keys.
+//   - no ad-hoc concurrency: goroutine launches and imports of sync or
+//     sync/atomic are confined to the conservative parallel engine
+//     (internal/sim/parallel.go). Anywhere else in sim-core, shared-memory
+//     concurrency makes event order depend on the goroutine schedule.
 type Determinism struct {
 	// SimCore holds the import-path prefixes the rule applies to.
 	SimCore []string
 	// WallClockAllow holds file-path suffixes exempt from the wall-clock
 	// check (observation-only reporters).
 	WallClockAllow []string
+	// ConcurrencyAllow holds file-path suffixes exempt from the goroutine
+	// and sync-import checks (the sanctioned synchronizer).
+	ConcurrencyAllow []string
 }
 
 // NewDeterminism returns the analyzer with the repo's default package set.
 func NewDeterminism() *Determinism {
-	return &Determinism{SimCore: DefaultSimCorePackages, WallClockAllow: DefaultWallClockAllow}
+	return &Determinism{
+		SimCore:          DefaultSimCorePackages,
+		WallClockAllow:   DefaultWallClockAllow,
+		ConcurrencyAllow: DefaultConcurrencyAllow,
+	}
 }
 
 // Name implements Analyzer.
@@ -78,6 +99,15 @@ func (a *Determinism) wallClockAllowed(file string) bool {
 	return false
 }
 
+func (a *Determinism) concurrencyAllowed(file string) bool {
+	for _, suf := range a.ConcurrencyAllow {
+		if strings.HasSuffix(file, suf) {
+			return true
+		}
+	}
+	return false
+}
+
 // Check implements Analyzer.
 func (a *Determinism) Check(p *Package) []Diagnostic {
 	if !a.inScope(p.ImportPath) {
@@ -85,6 +115,20 @@ func (a *Determinism) Check(p *Package) []Diagnostic {
 	}
 	var diags []Diagnostic
 	for _, f := range p.Files {
+		allowConc := a.concurrencyAllowed(p.Position(f.Pos()).Filename)
+		if !allowConc {
+			for _, imp := range f.Imports {
+				switch imp.Path.Value {
+				case `"sync"`, `"sync/atomic"`:
+					diags = append(diags, Diagnostic{
+						Rule: RuleDeterminism, Pos: p.Position(imp.Pos()),
+						Message: fmt.Sprintf(
+							"import of %s in sim-core package %s — shared-memory concurrency belongs in the conservative engine (internal/sim/parallel.go)",
+							imp.Path.Value, p.ImportPath),
+					})
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.SelectorExpr:
@@ -94,6 +138,15 @@ func (a *Determinism) Check(p *Package) []Diagnostic {
 			case *ast.RangeStmt:
 				if d, ok := a.checkRange(p, x); ok {
 					diags = append(diags, d)
+				}
+			case *ast.GoStmt:
+				if !allowConc {
+					diags = append(diags, Diagnostic{
+						Rule: RuleDeterminism, Pos: p.Position(x.Go),
+						Message: fmt.Sprintf(
+							"goroutine launched in sim-core package %s — event order must not depend on the goroutine schedule; concurrency belongs in the conservative engine (internal/sim/parallel.go)",
+							p.ImportPath),
+					})
 				}
 			}
 			return true

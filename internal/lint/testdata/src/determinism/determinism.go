@@ -5,6 +5,8 @@ package lintfixture
 
 import (
 	"math/rand"
+	"sync"        // want `import of "sync"`
+	"sync/atomic" // want `import of "sync/atomic"`
 	"time"
 )
 
@@ -61,4 +63,14 @@ func allowedScoped() {
 //sslint:allow determinism — fixture: nothing to suppress; want `suppresses nothing`
 func cleanFunc() int {
 	return 7
+}
+
+func spawns() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine launched`
+		defer wg.Done()
+		atomic.AddInt64(&sink, 1)
+	}()
+	wg.Wait()
 }

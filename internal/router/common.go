@@ -91,7 +91,10 @@ func newBase(s *sim.Simulator, name string, cfg *config.Settings, p Params) base
 		creditOut:     make([]*channel.CreditChannel, p.Radix),
 		downCred:      make([][]int, p.Radix),
 		downCap:       make([]int, p.Radix),
-		rng:           s.Rand(),
+		// A stream derived from the router's (unique) name: the router draws
+		// the same sequence whether it executes serially or on a shard of the
+		// parallel engine, and independently of other components' draws.
+		rng: s.DeriveRand(name),
 	}
 	for i := range b.downCred {
 		b.downCred[i] = make([]int, vcs)

@@ -98,7 +98,7 @@ type HOLState struct {
 	// output VC, and — on architectures with output queues — that queue's
 	// occupancy and capacity (OutDepth is -1 when the architecture has no
 	// output queue, 0 when the queue is unbounded).
-	Credits, CreditCap int
+	Credits, CreditCap  int
 	OutQueued, OutDepth int
 }
 type Params struct {

@@ -32,7 +32,8 @@ func BenchmarkEventHeapPushPop(b *testing.B) {
 	events := make([]Event, pending)
 	for i := range events {
 		events[i].Time = Time{Tick: Tick(i % 257)}
-		events[i].seq = uint64(i)
+		events[i].owner = uint32(i%17) + 1
+		events[i].oseq = uint64(i)
 		h.push(&events[i])
 	}
 	seq := uint64(pending)
@@ -41,7 +42,7 @@ func BenchmarkEventHeapPushPop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := h.pop()
 		e.Time.Tick += Tick(1 + seq%257) // reinsert in the near future
-		e.seq = seq
+		e.oseq = seq
 		seq++
 		h.push(e)
 	}

@@ -18,20 +18,37 @@ type Event struct {
 	Type    int
 	Context any
 
-	seq    uint64 // FIFO tiebreak among identical times (determinism)
-	daemon bool   // scheduled with ScheduleDaemon; excluded from PendingNonDaemon
+	// owner and oseq are the deterministic tiebreak among events at an
+	// identical (tick, epsilon): owner is the scheduling handler's
+	// construction-order key and oseq its per-handler schedule counter.
+	// Unlike a global schedule-order sequence, this key is independent of
+	// the interleaving of *different* handlers' Schedule calls — which is
+	// what makes sharded parallel execution (see parallel.go) reproduce the
+	// serial event order exactly: each shard assigns the same (owner, oseq)
+	// pairs the serial run would, no matter how worker goroutines interleave.
+	owner  uint32
+	oseq   uint64
+	daemon bool // scheduled with ScheduleDaemon; excluded from PendingNonDaemon
 }
 
 // heapEntry stores an event's ordering key inline so heap comparisons touch
 // contiguous memory instead of chasing event pointers — the event queue is
-// the simulator's hottest data structure by far.
+// the simulator's hottest data structure by far. The struct stays 32 bytes:
+// the old global sequence split into (owner, oseq) fills the slot that used
+// to be padding plus the seq word.
 type heapEntry struct {
-	tick Tick
-	eps  Epsilon
-	seq  uint64
-	ev   *Event
+	tick  Tick
+	eps   Epsilon
+	owner uint32
+	oseq  uint64
+	ev    *Event
 }
 
+// entryLess orders events by (tick, epsilon, owner, oseq). Two events of the
+// same handler at the same time execute in schedule order (oseq); events of
+// different handlers at the same time execute in handler construction order
+// (owner), which is fixed at build time and therefore identical no matter
+// how the simulation is partitioned across shards.
 func entryLess(a, b *heapEntry) bool {
 	if a.tick != b.tick {
 		return a.tick < b.tick
@@ -39,11 +56,14 @@ func entryLess(a, b *heapEntry) bool {
 	if a.eps != b.eps {
 		return a.eps < b.eps
 	}
-	return a.seq < b.seq
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	return a.oseq < b.oseq
 }
 
-// eventHeap is a binary min-heap of events ordered by (tick, epsilon, seq).
-// It is implemented directly (rather than via container/heap) to avoid
+// eventHeap is a binary min-heap of events ordered by (tick, epsilon, owner,
+// oseq). It is implemented directly (rather than via container/heap) to avoid
 // interface conversions on the hot path.
 type eventHeap struct {
 	a []heapEntry
@@ -54,7 +74,7 @@ func (h *eventHeap) len() int { return len(h.a) }
 //sslint:hotpath
 func (h *eventHeap) push(e *Event) {
 	//sslint:allow hotpath — amortized heap growth, bounded by the pending-event high-water mark
-	h.a = append(h.a, heapEntry{tick: e.Time.Tick, eps: e.Time.Eps, seq: e.seq, ev: e})
+	h.a = append(h.a, heapEntry{tick: e.Time.Tick, eps: e.Time.Eps, owner: e.owner, oseq: e.oseq, ev: e})
 	// sift up
 	a := h.a
 	i := len(a) - 1

@@ -2,8 +2,17 @@ package sim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand/v2"
 )
+
+// maxEventFreeList caps the event free list. Recycled events beyond the cap
+// are dropped for the GC to collect, so a burst peak (e.g. a transient pulse
+// application) no longer pins its high-water mark of event memory for the
+// rest of a long run. The cap comfortably exceeds the steady-state pending
+// count of the paper-scale configurations, so the hot path still never
+// allocates once warmed.
+const maxEventFreeList = 4096
 
 // Simulator is the global simulation object: it owns the event priority
 // queue, the current time, and the simulation-wide pseudo random number
@@ -12,20 +21,29 @@ import (
 // until the queue runs empty.
 //
 // A Simulator is single-threaded and deterministic: the same configuration
-// and seed always produce the same event order and the same results.
+// and seed always produce the same event order and the same results. For
+// parallel execution, several Simulators (one per shard) are coordinated by
+// an Engine (see parallel.go); each remains single-threaded internally.
 type Simulator struct {
 	queue    eventHeap
 	now      Time
 	running  bool
 	stopped  bool
 	executed uint64
+	lastWork Time // time of the most recent non-daemon event executed
 	seqGen   uint64
+	orderGen uint32
 	daemons  int // queued events scheduled with ScheduleDaemon
 	free     []*Event
 	rng      *rand.Rand
 	seed     uint64
 
-	// Monitor, if non-nil, is invoked every MonitorInterval executed events.
+	// shard is non-nil when this simulator is coordinated by a parallel
+	// Engine; it carries the cross-shard inbox and horizon state.
+	shard *shardState
+
+	// Monitor, if non-nil, is invoked every MonitorInterval executed
+	// (non-daemon) events.
 	Monitor         func(now Time, executed uint64)
 	MonitorInterval uint64
 
@@ -60,8 +78,37 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Seed() uint64 { return s.seed }
 
 // Rand returns the simulation-wide PRNG. Components must use this generator
-// (or one derived from it) so simulations are reproducible.
+// (or one derived from it) so simulations are reproducible. Components whose
+// draws must also be independent of how other components interleave their
+// draws — everything that draws during the run — should use DeriveRand
+// instead.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// DeriveRand returns a fresh PRNG stream deterministically derived from the
+// simulator's seed and the given name. Two simulators with the same seed
+// derive identical streams for identical names, regardless of what other
+// components exist or when they draw — this is what makes per-component
+// randomness partition-independent: a router draws the same sequence whether
+// it runs in the serial loop or on any shard of a parallel engine. Names must
+// be unique per logical stream (include an instance index when several
+// components share a type name).
+func (s *Simulator) DeriveRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	sub := h.Sum64()
+	return rand.New(rand.NewPCG(s.seed^sub, (s.seed+0x9e3779b97f4a7c15)^(sub*0xff51afd7ed558ccd|1)))
+}
+
+// nextOrderKey hands out construction-order keys for component event
+// ordering; see eventOrder in component.go. Key 0 is reserved for "not yet
+// assigned".
+func (s *Simulator) nextOrderKey() uint32 {
+	s.orderGen++
+	if s.orderGen == 0 {
+		panic("sim: component construction-order key space exhausted")
+	}
+	return s.orderGen
+}
 
 // SetVerifier attaches an opaque verification object to the simulator. It is
 // set once, before components are built (see internal/verify.Attach).
@@ -77,8 +124,16 @@ func (s *Simulator) SetTelemetry(t any) { s.telemetry = t }
 // Telemetry returns the attached telemetry object, or nil.
 func (s *Simulator) Telemetry() any { return s.telemetry }
 
-// Executed returns the number of events executed so far.
+// Executed returns the number of non-daemon events executed so far. Daemon
+// events (ScheduleDaemon) are pure observers; excluding them keeps the count
+// identical between serial and parallel runs, where observer re-arming can
+// legitimately differ.
 func (s *Simulator) Executed() uint64 { return s.executed }
+
+// LastWork returns the time of the most recent non-daemon event executed —
+// the simulation's logical end time once the queue has drained, independent
+// of any trailing daemon wake-ups.
+func (s *Simulator) LastWork() Time { return s.lastWork }
 
 // Pending returns the number of events currently queued.
 func (s *Simulator) Pending() int { return s.queue.len() }
@@ -89,7 +144,22 @@ func (s *Simulator) Pending() int { return s.queue.len() }
 // whether to re-arm: re-arming while only daemon events remain would keep
 // the simulation alive forever, and two daemons checking Pending would keep
 // each other alive.
-func (s *Simulator) PendingNonDaemon() int { return s.queue.len() - s.daemons }
+//
+// Under a parallel engine the count covers this shard exactly and remote
+// shards as of their last committed window — a slightly stale but safe
+// over-approximation is impossible to avoid without a global barrier, and
+// observers only use the value as a liveness hint.
+func (s *Simulator) PendingNonDaemon() int {
+	n := s.queue.len() - s.daemons
+	if sh := s.shard; sh != nil {
+		for _, o := range sh.eng.shards {
+			if o != sh {
+				n += int(o.pendingPub.Load())
+			}
+		}
+	}
+	return n
+}
 
 // Schedule enqueues an event for the handler at the given time with a type
 // tag and context pointer. The time must not be in the past; scheduling at
@@ -100,9 +170,10 @@ func (s *Simulator) Schedule(h Handler, t Time, typ int, ctx any) {
 }
 
 // ScheduleDaemon enqueues an event that does not count as simulation work:
-// it is excluded from PendingNonDaemon. Observation-only periodic components
-// (the verify watchdog, telemetry snapshots) schedule with this so their
-// self-re-arming never extends the life of a drained simulation.
+// it is excluded from PendingNonDaemon and from the Executed count.
+// Observation-only periodic components (the verify watchdog, telemetry
+// snapshots) schedule with this so their self-re-arming never extends the
+// life of a drained simulation.
 func (s *Simulator) ScheduleDaemon(h Handler, t Time, typ int, ctx any) {
 	s.schedule(h, t, typ, ctx, true)
 }
@@ -131,8 +202,28 @@ func (s *Simulator) schedule(h Handler, t Time, typ int, ctx any, daemon bool) {
 	if daemon {
 		s.daemons++
 	}
-	s.seqGen++
-	e.seq = s.seqGen // FIFO tiebreak among identical times
+	if oh, ok := h.(ordered); ok {
+		o := oh.order()
+		if o.key == 0 {
+			// Lazy key for handlers built outside a component (HandlerFunc):
+			// assigned on first schedule, which is deterministic in a
+			// single-threaded build/run.
+			o.key = s.nextOrderKey()
+		}
+		o.seq++
+		e.owner, e.oseq = o.key, o.seq
+	} else {
+		// Foreign Handler implementation: fall back to global schedule order,
+		// sorted after all keyed components at the same time.
+		s.seqGen++
+		e.owner, e.oseq = ^uint32(0), s.seqGen
+	}
+	if sh := s.shard; sh != nil && !daemon {
+		// Daemon observers are excluded from the engine's global work count:
+		// a far-future watchdog must not keep every shard lock-stepping
+		// lookahead windows toward a tick where no real work remains.
+		sh.eng.work.Add(1)
+	}
 	s.queue.push(e)
 }
 
@@ -145,35 +236,13 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Stopped() bool { return s.stopped }
 
 // Run executes events in time order until the queue runs empty or Stop is
-// called. It returns the number of events executed by this call.
+// called. It returns the number of non-daemon events executed by this call.
 func (s *Simulator) Run() uint64 {
-	start := s.executed
-	s.running = true
-	for s.queue.len() > 0 && !s.stopped {
-		e := s.queue.pop()
-		if e.Time.Before(s.now) {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
-		}
-		if e.daemon {
-			s.daemons--
-			e.daemon = false
-		}
-		s.now = e.Time
-		h := e.Handler
-		s.executed++
-		h.ProcessEvent(e)
-		e.Handler = nil
-		e.Context = nil
-		s.free = append(s.free, e)
-		if s.Monitor != nil && s.MonitorInterval > 0 && s.executed%s.MonitorInterval == 0 {
-			s.Monitor(s.now, s.executed)
-		}
-	}
-	s.running = false
+	n := s.runUntil(^Tick(0), true)
 	if s.MonitorFinish != nil {
 		s.MonitorFinish(s.now, s.executed)
 	}
-	return s.executed - start
+	return n
 }
 
 // RunUntil executes events whose time is strictly before the given tick, then
@@ -181,30 +250,62 @@ func (s *Simulator) Run() uint64 {
 // Each event goes through exactly the same execution path as Run: the
 // time-went-backwards check and the Monitor callback both apply, so a
 // simulation stepped with RunUntil behaves identically to one driven by Run.
+//
+// Unlike Run, RunUntil does NOT invoke MonitorFinish: reaching the horizon
+// tick is a pause, not the end of the simulation, and a stepped run would
+// otherwise flush its "final" interval once per step. Callers that finish a
+// simulation via RunUntil (the parallel engine, test drivers) must call
+// FinishMonitor once when the whole run is over. This asymmetry is pinned by
+// TestRunUntilDoesNotMonitorFinish.
 func (s *Simulator) RunUntil(tick Tick) uint64 {
+	return s.runUntil(tick, false)
+}
+
+// FinishMonitor invokes MonitorFinish, if set. Run calls it automatically;
+// drivers that end a simulation through RunUntil call it exactly once at the
+// true end of the run.
+func (s *Simulator) FinishMonitor() {
+	if s.MonitorFinish != nil {
+		s.MonitorFinish(s.now, s.executed)
+	}
+}
+
+//sslint:hotpath
+func (s *Simulator) runUntil(tick Tick, all bool) uint64 {
 	start := s.executed
 	s.running = true
 	for s.queue.len() > 0 && !s.stopped {
-		e := s.queue.peek()
-		if e.Time.Tick >= tick {
-			break
+		if !all {
+			if e := s.queue.peek(); e.Time.Tick >= tick {
+				break
+			}
 		}
-		e = s.queue.pop()
+		e := s.queue.pop()
 		if e.Time.Before(s.now) {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.Time))
 		}
-		if e.daemon {
+		daemon := e.daemon
+		if daemon {
 			s.daemons--
 			e.daemon = false
 		}
 		s.now = e.Time
 		h := e.Handler
-		s.executed++
+		if !daemon {
+			s.executed++
+			s.lastWork = e.Time
+		}
 		h.ProcessEvent(e)
 		e.Handler = nil
 		e.Context = nil
-		s.free = append(s.free, e)
-		if s.Monitor != nil && s.MonitorInterval > 0 && s.executed%s.MonitorInterval == 0 {
+		if len(s.free) < maxEventFreeList {
+			//sslint:allow hotpath — growth is bounded by maxEventFreeList; steady state recycles without allocating
+			s.free = append(s.free, e)
+		}
+		if sh := s.shard; sh != nil && !daemon {
+			sh.eng.work.Add(-1)
+		}
+		if !daemon && s.Monitor != nil && s.MonitorInterval > 0 && s.executed%s.MonitorInterval == 0 {
 			s.Monitor(s.now, s.executed)
 		}
 	}

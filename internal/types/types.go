@@ -250,7 +250,32 @@ type Flit struct {
 
 	SendTime    sim.Tick // last channel injection time
 	ReceiveTime sim.Tick // last channel delivery time
+
+	// vfGen and vfInFlight are the invariant-verification subsystem's
+	// in-flight ledger, inlined into the flit so the ledger needs no shared
+	// map: a map would be written by the injecting terminal while being read
+	// at every channel hop, which under the parallel engine happens on
+	// different shards. The fields are written only at injection/retirement
+	// (terminal side); hops merely read them, and the engine's inbox
+	// hand-off orders those reads after the injection write.
+	vfGen      uint64
+	vfInFlight bool
 }
+
+// VerifyMarkInFlight records the flit entering the network, stamping the
+// owning message's generation. Owned by internal/verify.
+func (f *Flit) VerifyMarkInFlight(gen uint64) {
+	f.vfGen = gen
+	f.vfInFlight = true
+}
+
+// VerifyClearInFlight records the flit retiring from the network. Owned by
+// internal/verify.
+func (f *Flit) VerifyClearInFlight() { f.vfInFlight = false }
+
+// VerifyInFlight returns the message generation recorded at injection and
+// whether the flit is currently marked in flight. Owned by internal/verify.
+func (f *Flit) VerifyInFlight() (uint64, bool) { return f.vfGen, f.vfInFlight }
 
 func (f *Flit) String() string {
 	kind := "body"

@@ -40,7 +40,7 @@ func (cl *CreditLedger) Debit(vc, have int) {
 		cl.v.Panicf("%s vc %d: credit counter diverged on debit: component has %d, ledger has %d",
 			cl.name, vc, have, cl.mirror[vc])
 	}
-	cl.v.activity++
+	cl.v.activity.Add(1)
 }
 
 // Credit records a credit returning on vc; have is the component's counter
@@ -54,7 +54,7 @@ func (cl *CreditLedger) Credit(vc, have int) {
 		cl.v.Panicf("%s vc %d: credit counter diverged on credit: component has %d, ledger has %d",
 			cl.name, vc, have, cl.mirror[vc])
 	}
-	cl.v.activity++
+	cl.v.activity.Add(1)
 }
 
 // BufferLedger tracks one downstream input buffer's per-VC occupancy against
@@ -86,7 +86,7 @@ func (bl *BufferLedger) Arrive(vc int) {
 		bl.v.Panicf("%s vc %d: buffer overrun: %d flits in a %d-deep buffer — upstream sent without credit",
 			bl.name, vc, bl.occ[vc], bl.cap)
 	}
-	bl.v.activity++
+	bl.v.activity.Add(1)
 }
 
 // Free records a buffer slot being released on vc (a credit sent upstream).
@@ -96,5 +96,5 @@ func (bl *BufferLedger) Free(vc int) {
 		bl.v.Panicf("%s vc %d: buffer freed below zero — credit sent for a flit that never arrived",
 			bl.name, vc)
 	}
-	bl.v.activity++
+	bl.v.activity.Add(1)
 }

@@ -8,9 +8,13 @@
 // per-link ledgers handed out to components at construction time:
 //
 //   - Flit conservation: every flit injected at a terminal must be retired
-//     exactly once. The Verifier keeps a global in-flight ledger (flit ->
-//     generation at injection) that injection, every channel traversal, and
-//     ejection check against; core.Run reconciles it at drain.
+//     exactly once. The in-flight ledger (generation at injection plus an
+//     in-flight mark) lives on each flit; injection, every channel
+//     traversal, and ejection check against it, and core.Run reconciles the
+//     injected/retired counts at drain. Keeping the ledger per-flit rather
+//     than in a shared map is what makes the checks shard-safe under the
+//     parallel engine: terminals write the marks, hops only read them, and
+//     cross-shard flit hand-offs order the reads after the writes.
 //   - Credit conservation: each upstream credit counter gets a CreditLedger
 //     mirror. Every debit/credit reports the component's own counter value,
 //     so any divergence (a flipped or skipped decrement) is caught at the
@@ -40,6 +44,7 @@ package verify
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"supersim/internal/sim"
 	"supersim/internal/types"
@@ -61,15 +66,17 @@ type Verifier struct {
 	sim.ComponentBase
 	opts Options
 
-	// Flit conservation: the in-flight ledger maps every flit currently in
-	// the network to its message generation at injection.
-	inFlight map[*types.Flit]uint64
+	// Flit conservation counters. The per-flit in-flight marks live on the
+	// flits themselves (types.Flit.VerifyInFlight); injected and retired are
+	// written only on the terminal (host) side, so they stay plain.
 	injected uint64
 	retired  uint64
 
 	// activity counts flit movements (injections, hops, retirements); the
-	// watchdog compares it across epochs.
-	activity     uint64
+	// watchdog compares it across epochs. It is the one counter bumped from
+	// every shard (channel hops, router-side credit/buffer ledgers), so it
+	// is atomic; everything else the Verifier mutates is host-side only.
+	activity     atomic.Uint64
 	lastActivity uint64
 	watchdogOn   bool
 
@@ -90,7 +97,6 @@ func Attach(s *sim.Simulator, opts Options) *Verifier {
 	v := &Verifier{
 		ComponentBase: sim.NewComponentBase(s, "verify"),
 		opts:          opts,
-		inFlight:      make(map[*types.Flit]uint64),
 	}
 	s.SetVerifier(v)
 	if opts.WatchdogEpoch > 0 {
@@ -122,26 +128,26 @@ func (v *Verifier) Injected() uint64 { return v.injected }
 func (v *Verifier) Retired() uint64 { return v.retired }
 
 // InFlight returns the number of flits currently in the network.
-func (v *Verifier) InFlight() int { return len(v.inFlight) }
+func (v *Verifier) InFlight() int { return int(v.injected - v.retired) }
 
 // FlitInjected records a flit entering the network at a terminal. Injecting
 // a flit that is already in flight panics (duplicate injection or aliasing).
 func (v *Verifier) FlitInjected(f *types.Flit) {
-	if gen, ok := v.inFlight[f]; ok {
+	if gen, ok := f.VerifyInFlight(); ok {
 		v.Panicf("%v injected while already in flight (generation %d, now %d) — duplicate injection or pool aliasing",
 			f, gen, f.Pkt.Msg.Generation())
 	}
-	v.inFlight[f] = f.Pkt.Msg.Generation()
+	f.VerifyMarkInFlight(f.Pkt.Msg.Generation())
 	v.injected++
-	v.activity++
+	v.activity.Add(1)
 }
 
 // FlitTouched validates a flit at an intermediate touch point (every channel
-// injection): it must be in the in-flight ledger with an unchanged message
+// injection): it must carry the in-flight mark with an unchanged message
 // generation. A generation mismatch means the owning message was recycled
 // while this flit was still traversing the network.
 func (v *Verifier) FlitTouched(f *types.Flit) {
-	gen, ok := v.inFlight[f]
+	gen, ok := f.VerifyInFlight()
 	if !ok {
 		v.Panicf("%v touched but not in flight — flit forged, duplicated, or already retired", f)
 	}
@@ -149,13 +155,13 @@ func (v *Verifier) FlitTouched(f *types.Flit) {
 		v.Panicf("%v touched with stale generation: injected at %d, message now at %d — pooled message recycled while in network",
 			f, gen, now)
 	}
-	v.activity++
+	v.activity.Add(1)
 }
 
 // FlitRetired records a flit leaving the network at its destination
 // terminal. The flit must be in flight with an unchanged generation.
 func (v *Verifier) FlitRetired(f *types.Flit) {
-	gen, ok := v.inFlight[f]
+	gen, ok := f.VerifyInFlight()
 	if !ok {
 		v.Panicf("%v retired but not in flight — double retirement or lost injection record", f)
 	}
@@ -163,9 +169,9 @@ func (v *Verifier) FlitRetired(f *types.Flit) {
 		v.Panicf("%v retired with stale generation: injected at %d, message now at %d — pooled message recycled while in network",
 			f, gen, now)
 	}
-	delete(v.inFlight, f)
+	f.VerifyClearInFlight()
 	v.retired++
-	v.activity++
+	v.activity.Add(1)
 }
 
 // MessageObtained implements types.PoolObserver: a recycled message's flits
@@ -184,7 +190,7 @@ func (v *Verifier) MessageReleased(m *types.Message) {
 func (v *Verifier) checkNoFlitsInFlight(m *types.Message, action string) {
 	for _, p := range m.Packets {
 		for _, f := range p.Flits {
-			if _, ok := v.inFlight[f]; ok {
+			if _, ok := f.VerifyInFlight(); ok {
 				v.Panicf("message %d %s while %v is still in the network — pool aliasing",
 					m.ID, action, f)
 			}
@@ -197,15 +203,16 @@ func (v *Verifier) ProcessEvent(ev *sim.Event) {
 	if ev.Type != evWatchdog {
 		v.Panicf("unknown event type %d", ev.Type)
 	}
-	if v.activity == v.lastActivity && len(v.inFlight) > 0 {
+	activity := v.activity.Load()
+	if activity == v.lastActivity && v.InFlight() > 0 {
 		report := v.OccupancyDump()
 		if v.diagnose != nil {
 			report += "\n" + v.diagnose()
 		}
 		v.Panicf("no flit movement for %d ticks with %d flits in flight — deadlock or livelock\n%s",
-			v.opts.WatchdogEpoch, len(v.inFlight), report)
+			v.opts.WatchdogEpoch, v.InFlight(), report)
 	}
-	v.lastActivity = v.activity
+	v.lastActivity = activity
 	// Re-arm only while non-daemon events are pending: a queue holding only
 	// daemon events (this watchdog, telemetry snapshots) means the simulation
 	// is about to drain, and a perpetual watchdog would keep it alive forever
@@ -243,13 +250,9 @@ func (v *Verifier) OccupancyDump() string {
 // every tracked buffer empty. The framework calls it from core.Run after the
 // per-component idle checks.
 func (v *Verifier) VerifyDrained() {
-	if len(v.inFlight) != 0 {
-		v.Panicf("drain check: %d flits never retired (injected %d, retired %d)\n%s",
-			len(v.inFlight), v.injected, v.retired, v.OccupancyDump())
-	}
 	if v.injected != v.retired {
-		v.Panicf("drain check: flit conservation violated: %d injected, %d retired",
-			v.injected, v.retired)
+		v.Panicf("drain check: flit conservation violated: %d injected, %d retired (%d never retired)\n%s",
+			v.injected, v.retired, v.InFlight(), v.OccupancyDump())
 	}
 	for _, cl := range v.credits {
 		for vc, c := range cl.mirror {

@@ -5,6 +5,7 @@
 package apps
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"supersim/internal/config"
@@ -85,14 +86,18 @@ func NewBlast(s *sim.Simulator, cfg *config.Settings, w *workload.Workload, appI
 		w:             w,
 		appID:         appID,
 		net:           net,
-		rng:           s.Rand(),
-		rate:          cfg.Float("injection_rate"),
-		msgSize:       int(cfg.UIntOr("message_size", 1)),
-		warmup:        sim.Tick(cfg.UInt("warmup_duration")),
-		sampleDur:     sim.Tick(cfg.UInt("sample_duration")),
-		queueCap:      int(cfg.UIntOr("source_queue_limit", 32)),
-		rec:           stats.NewRecorder(),
-		pktRec:        stats.NewRecorder(),
+		// Derived per-application stream keyed by the (unique) app index:
+		// two applications of the same type must not share draws, and the
+		// stream must be independent of other components' draw interleaving
+		// so results are identical under the parallel engine.
+		rng:       s.DeriveRand(fmt.Sprintf("app%d/%s", appID, cfg.StringOr("name", "blast"))),
+		rate:      cfg.Float("injection_rate"),
+		msgSize:   int(cfg.UIntOr("message_size", 1)),
+		warmup:    sim.Tick(cfg.UInt("warmup_duration")),
+		sampleDur: sim.Tick(cfg.UInt("sample_duration")),
+		queueCap:  int(cfg.UIntOr("source_queue_limit", 32)),
+		rec:       stats.NewRecorder(),
+		pktRec:    stats.NewRecorder(),
 	}
 	b.maxPkt = int(cfg.UIntOr("max_packet_size", uint64(b.msgSize)))
 	if b.rate <= 0 || b.rate > 1 {

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"supersim/internal/config"
@@ -57,12 +58,13 @@ func NewPulse(s *sim.Simulator, cfg *config.Settings, w *workload.Workload, appI
 		w:             w,
 		appID:         appID,
 		net:           net,
-		rng:           s.Rand(),
-		rate:          cfg.Float("injection_rate"),
-		msgSize:       int(cfg.UIntOr("message_size", 1)),
-		count:         int(cfg.UInt("count")),
-		delay:         sim.Tick(cfg.UIntOr("delay", 0)),
-		rec:           stats.NewRecorder(),
+		// See Blast: derived per-application stream, partition-independent.
+		rng:     s.DeriveRand(fmt.Sprintf("app%d/%s", appID, cfg.StringOr("name", "pulse"))),
+		rate:    cfg.Float("injection_rate"),
+		msgSize: int(cfg.UIntOr("message_size", 1)),
+		count:   int(cfg.UInt("count")),
+		delay:   sim.Tick(cfg.UIntOr("delay", 0)),
+		rec:     stats.NewRecorder(),
 	}
 	p.maxPkt = int(cfg.UIntOr("max_packet_size", uint64(p.msgSize)))
 	if p.rate <= 0 || p.rate > 1 {

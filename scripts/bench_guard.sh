@@ -3,7 +3,9 @@
 #
 # Allocation-regression guard for the traffic hot path: runs BenchmarkFigure5
 # (the paper's end-to-end load/latency sweep point) with telemetry disabled and
-# fails if allocs/op exceeds the committed ceiling in bench_ceiling.txt.
+# fails if allocs/op exceeds the committed ceiling in bench_ceiling.txt. The
+# explicit workers=1 path (BenchmarkFigure5Workers/workers_1) is held to the
+# same ceiling: parallel support must not cost the serial path anything.
 #
 # The ceiling is the contract behind the telemetry subsystem's "zero overhead
 # when disabled" claim: probe hooks in the flit path must stay behind nil
@@ -42,6 +44,23 @@ if [ "$allocs" -gt "$ceiling" ]; then
     exit 1
 fi
 echo "bench-guard: OK — $allocs allocs/op <= ceiling $ceiling"
+
+# The explicit -workers 1 path (simulation.workers set to 1) must be the same
+# serial path: parallel support may not cost the default configuration
+# anything, so the same ceiling applies.
+"$go" test -run='^$' -bench='BenchmarkFigure5Workers/workers_1$' -benchtime=1x -benchmem . | tee "$out"
+
+w1_allocs=$(awk '/^BenchmarkFigure5Workers\/workers_1/ { for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")
+if [ -z "$w1_allocs" ]; then
+    echo "bench-guard: BenchmarkFigure5Workers/workers_1 produced no allocs/op line" >&2
+    exit 2
+fi
+
+if [ "$w1_allocs" -gt "$ceiling" ]; then
+    echo "bench-guard: FAIL — workers=1 path allocated $w1_allocs/op, ceiling is $ceiling/op (bench_ceiling.txt)" >&2
+    exit 1
+fi
+echo "bench-guard: OK — workers=1 path $w1_allocs allocs/op <= ceiling $ceiling"
 
 if [ "$with_spans" = "spans" ]; then
     "$go" test -run='^$' -bench='BenchmarkFigure5Spans$' -benchtime=1x -benchmem . | tee "$out"
