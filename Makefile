@@ -8,6 +8,9 @@
 #                  cmd/sslint and TESTING.md)
 #   make cover   - per-package statement coverage against the committed floors
 #                  in coverage_floors.txt
+#   make test-import-export - checkpoint/restore equivalence under -race: the
+#                  simulation-after-import harness, cross-worker restores,
+#                  and byte-exact snapshot round-trips
 #   make fuzz    - short live fuzzing session on the config parsers
 #   make bench   - the paper's table/figure benchmark suite with -benchmem
 #   make micro   - the standalone hot-structure micro-benchmarks
@@ -22,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz ci bench micro bench-guard bench-guard-spans bench-parallel
+.PHONY: all build vet lint test race cover fuzz ci test-import-export bench micro bench-guard bench-guard-spans bench-parallel
 
 all: ci
 
@@ -59,7 +62,15 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config
 	$(GO) test -run='^$$' -fuzz=FuzzSettingsOverride -fuzztime=10s ./internal/config
 
-ci: build vet lint test race bench-guard
+# Checkpoint/restore equivalence: the simulation-after-import harness (all
+# golden topologies, serial and sharded), the cross-worker restore matrix,
+# byte-exact snapshot round-trips, and the randomized checkpoint sweep — under
+# the race detector, since restore re-partitions across shards.
+test-import-export:
+	$(GO) test -race -count=1 -run='TestCheckpointedRunMatchesGolden|TestSimulationAfterImport|TestRestoreAcrossWorkerCounts|TestSnapshotRoundTrip|TestRandomizedCheckpointRestore' ./internal/core
+	$(GO) test -count=1 ./internal/snapshot
+
+ci: build vet lint test race test-import-export bench-guard
 
 # Hot-path allocation guard: the telemetry subsystem's "zero overhead when
 # disabled" claim, enforced. See scripts/bench_guard.sh.

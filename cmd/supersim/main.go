@@ -35,6 +35,17 @@
 // conservative lookahead engine (see DESIGN.md); results are byte-identical
 // to the default serial run. The single-stream recorders -trace and -spans
 // are serial-only and rejected with -workers > 1.
+//
+// Checkpointing: -checkpoint-every N -checkpoint-file F writes a complete
+// snapshot of simulator state to F (atomically replaced) at every N-tick
+// boundary while work remains; the pauses are invisible to the simulation.
+// -restore F rebuilds a simulation from a snapshot — no config file or
+// overrides are accepted, because the snapshot embeds its settings document —
+// and runs it to completion with results byte-identical to the uninterrupted
+// run. The one exception is -workers, which may re-partition the restored
+// run; snapshots are partition-independent. The same behavior is available
+// from a config file via the simulation.checkpoint_every and
+// simulation.checkpoint_file keys (see CONFIG.md).
 package main
 
 import (
@@ -67,6 +78,9 @@ func main() {
 	spansPath := flag.String("spans", "", "write per-message latency decompositions (spans JSONL) to this file (implies -telemetry)")
 	spansSample := flag.Float64("spans-sample", 1.0, "fraction of messages to span-record, 0..1")
 	workers := flag.Uint("workers", 1, "run the simulation on N parallel shards (results are identical to -workers 1)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "write a checkpoint snapshot every N ticks (requires -checkpoint-file)")
+	checkpointFile := flag.String("checkpoint-file", "", "checkpoint snapshot path, atomically replaced at each interval (requires -checkpoint-every)")
+	restorePath := flag.String("restore", "", "restore simulator state from a checkpoint snapshot (replaces the config file argument)")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -74,7 +88,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "supersim:", err)
 		os.Exit(2)
 	}
-	if flag.NArg() < 1 {
+	if *restorePath != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "supersim: -restore takes no config file or overrides (the snapshot embeds its settings; only -workers may override)")
+			os.Exit(2)
+		}
+	} else if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: supersim <config.json> [path=type=value ...]")
 		os.Exit(2)
 	}
@@ -91,7 +110,11 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(flag.Arg(0), flag.Args()[1:], runOpts{
+	var overrides []string
+	if flag.NArg() > 1 {
+		overrides = flag.Args()[1:]
+	}
+	err := run(flag.Arg(0), overrides, runOpts{
 		logPath:       *logPath,
 		quiet:         *quiet,
 		monitor:       *monitor,
@@ -102,9 +125,13 @@ func main() {
 		telemetryAddr: *telemetryAddr,
 		tracePath:     *tracePath,
 		traceSample:   *traceSample,
-		spansPath:     *spansPath,
-		spansSample:   *spansSample,
-		workers:       *workers,
+		spansPath:       *spansPath,
+		spansSample:     *spansSample,
+		workers:         *workers,
+		workersSet:      set["workers"],
+		checkpointEvery: *checkpointEvery,
+		checkpointFile:  *checkpointFile,
+		restorePath:     *restorePath,
 	})
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
@@ -114,6 +141,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supersim:", err)
 		os.Exit(1)
+	}
+}
+
+// checkpointSink returns a RunCheckpointed sink that atomically replaces the
+// snapshot file at each interval: write to a temp file, then rename, so a
+// crash mid-write never leaves a truncated snapshot as the only copy.
+func checkpointSink(path string, quiet bool) func(sim.Tick, []byte) error {
+	return func(tick sim.Tick, data []byte) error {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("checkpoint: tick %d, %d bytes -> %s\n", tick, len(data), path)
+		}
+		return nil
 	}
 }
 
@@ -142,6 +188,11 @@ type runOpts struct {
 	spansPath     string
 	spansSample   float64
 	workers       uint
+	workersSet    bool // -workers was given explicitly (matters with -restore)
+
+	checkpointEvery uint64
+	checkpointFile  string
+	restorePath     string
 }
 
 // validateFlags rejects combinations where a modifier flag was set on the
@@ -164,6 +215,24 @@ func validateFlags(set map[string]bool, workers uint) error {
 	if workers > 1 && (set["trace"] || set["spans"]) {
 		return fmt.Errorf("-workers > 1 does not support -trace or -spans (single-stream recorders are serial-only)")
 	}
+	if set["checkpoint-every"] && !set["checkpoint-file"] {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-file")
+	}
+	if set["checkpoint-file"] && !set["checkpoint-every"] {
+		return fmt.Errorf("-checkpoint-file requires -checkpoint-every")
+	}
+	if set["restore"] {
+		// A snapshot restores by rebuilding the identical component graph from
+		// its embedded settings; any flag that would change those settings
+		// would make the restored state incoherent. Worker count is the one
+		// safe override: snapshots are partition-independent.
+		for _, f := range []string{"verify", "telemetry", "telemetry-file", "telemetry-bin",
+			"telemetry-addr", "trace", "trace-sample", "spans", "spans-sample"} {
+			if set[f] {
+				return fmt.Errorf("-restore rebuilds from the snapshot's embedded settings; -%s would change them (only -workers may override)", f)
+			}
+		}
+	}
 	return nil
 }
 
@@ -177,6 +246,14 @@ func (o *runOpts) apply(cfg *config.Settings) error {
 	}
 	if o.workers > 1 {
 		if err := cfg.ApplyOverride(fmt.Sprintf("simulation.workers=uint=%d", o.workers)); err != nil {
+			return err
+		}
+	}
+	if o.checkpointEvery > 0 {
+		if err := cfg.ApplyOverrides([]string{
+			fmt.Sprintf("simulation.checkpoint_every=uint=%d", o.checkpointEvery),
+			"simulation.checkpoint_file=string=" + o.checkpointFile,
+		}); err != nil {
 			return err
 		}
 	}
@@ -206,20 +283,42 @@ func (o *runOpts) apply(cfg *config.Settings) error {
 }
 
 func run(cfgPath string, overrides []string, o runOpts) error {
-	cfg, err := config.LoadFile(cfgPath)
-	if err != nil {
-		return err
+	var sm *core.Simulation
+	if o.restorePath != "" {
+		data, err := os.ReadFile(o.restorePath)
+		if err != nil {
+			return err
+		}
+		// 0 keeps the snapshot's configured worker count; an explicit -workers
+		// re-partitions the restored run (results are identical either way).
+		workers := 0
+		if o.workersSet {
+			workers = int(o.workers)
+		}
+		var tick sim.Tick
+		sm, tick, err = core.Restore(data, workers)
+		if err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Printf("restored %s: checkpoint at tick %d\n", o.restorePath, tick)
+		}
+	} else {
+		cfg, err := config.LoadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		if err := cfg.ApplyOverrides(overrides); err != nil {
+			return err
+		}
+		if err := o.apply(cfg); err != nil {
+			return err
+		}
+		if sm, err = core.BuildE(cfg); err != nil {
+			return err
+		}
 	}
-	if err := cfg.ApplyOverrides(overrides); err != nil {
-		return err
-	}
-	if err := o.apply(cfg); err != nil {
-		return err
-	}
-	sm, err := core.BuildE(cfg)
-	if err != nil {
-		return err
-	}
+	cfg := sm.Config()
 	if o.monitor > 0 {
 		pm := &sim.ProgressMonitor{
 			Out:     os.Stderr,
@@ -239,7 +338,28 @@ func run(cfgPath string, overrides []string, o runOpts) error {
 		fmt.Printf("built %d routers, %d terminals, %d channels\n",
 			sm.Net.NumRouters(), sm.Net.NumTerminals(), len(sm.Net.Channels()))
 	}
-	res, err := sm.Run()
+	// Checkpointing: effective settings come from the (possibly embedded)
+	// config document, which the checkpoint flags were mapped into — so a
+	// restored run whose original invocation checkpointed keeps checkpointing,
+	// and a config file can request it without any flags.
+	every := sim.Tick(cfg.UIntOr("simulation.checkpoint_every", 0))
+	ckPath := cfg.StringOr("simulation.checkpoint_file", "")
+	if o.checkpointEvery > 0 {
+		every, ckPath = sim.Tick(o.checkpointEvery), o.checkpointFile
+	}
+	if every > 0 && ckPath == "" {
+		return fmt.Errorf("simulation.checkpoint_every is set but simulation.checkpoint_file is not")
+	}
+	if every == 0 && ckPath != "" {
+		return fmt.Errorf("simulation.checkpoint_file is set but simulation.checkpoint_every is not")
+	}
+	var res core.Result
+	var err error
+	if every > 0 {
+		res, err = sm.RunCheckpointed(every, checkpointSink(ckPath, o.quiet))
+	} else {
+		res, err = sm.Run()
+	}
 	if err != nil {
 		return err
 	}

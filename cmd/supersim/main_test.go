@@ -43,6 +43,15 @@ func TestValidateFlags(t *testing.T) {
 		{"workers parallel with telemetry", setOf("workers", "telemetry"), 4, ""},
 		{"workers parallel with trace", setOf("trace", "workers"), 2, "-workers"},
 		{"workers parallel with spans", setOf("spans", "workers"), 2, "-workers"},
+		{"checkpoint pair", setOf("checkpoint-every", "checkpoint-file"), 1, ""},
+		{"checkpoint-every alone", setOf("checkpoint-every"), 1, "-checkpoint-file"},
+		{"checkpoint-file alone", setOf("checkpoint-file"), 1, "-checkpoint-every"},
+		{"restore alone", setOf("restore"), 1, ""},
+		{"restore with workers", setOf("restore", "workers"), 4, ""},
+		{"restore with checkpointing", setOf("restore", "checkpoint-every", "checkpoint-file"), 1, ""},
+		{"restore with verify", setOf("restore", "verify"), 1, "-verify"},
+		{"restore with telemetry", setOf("restore", "telemetry"), 1, "-telemetry"},
+		{"restore with spans", setOf("restore", "spans"), 1, "-spans"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -108,6 +117,95 @@ func TestApplyWithoutSpansLeavesSettingsUnset(t *testing.T) {
 	}
 	if cfg.Has("simulation.telemetry.spans_file") || cfg.Has("simulation.telemetry.spans_sample") {
 		t.Fatal("spans settings must stay unset without -spans")
+	}
+}
+
+// TestRunCheckpointAndRestore drives the full run() path with checkpointing
+// enabled, then restores the final snapshot and runs the continuation — the
+// CLI wiring for the import/export machinery proven in internal/core.
+func TestRunCheckpointAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	snapPath := filepath.Join(dir, "snap.ssim")
+	doc := `{
+	  "simulation": {"seed": 11, "verify": {"enabled": true}},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [2, 2],
+	    "concentration": 1,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.1,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 100,
+	      "sample_duration": 300,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(cfgPath, nil, runOpts{
+		quiet: true, telemetryBin: 1000, traceSample: 1.0, spansSample: 1.0,
+		checkpointEvery: 100, checkpointFile: snapPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(snapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	// The restored continuation rebuilds from the embedded settings (no config
+	// file) and must complete cleanly; -workers 2 exercises the re-partition
+	// override on the restore path.
+	err = run("", nil, runOpts{
+		quiet: true, telemetryBin: 1000, traceSample: 1.0, spansSample: 1.0,
+		restorePath: snapPath, workers: 2, workersSet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsMismatchedCheckpointConfig covers the config-key validation on
+// the run path: checkpoint_every and checkpoint_file must come together.
+func TestRunRejectsMismatchedCheckpointConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	doc := `{
+	  "simulation": {"seed": 1, "checkpoint_every": 100},
+	  "network": {
+	    "topology": "parking_lot",
+	    "routers": 3,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.05,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 50,
+	      "sample_duration": 100,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(cfgPath, nil, runOpts{quiet: true, telemetryBin: 1000, traceSample: 1.0})
+	if err == nil || !strings.Contains(err.Error(), "checkpoint_file") {
+		t.Fatalf("error = %v, want checkpoint_file mention", err)
 	}
 }
 

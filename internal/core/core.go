@@ -49,7 +49,17 @@ type Simulation struct {
 	// a serial simulation. Shard 0 is the host shard.
 	Shards []*Shard
 	engine *sim.Engine
+
+	// cfg is the settings document the simulation was built from, retained so
+	// checkpoints can embed it (a snapshot restores by rebuilding the identical
+	// component graph and overwriting its state).
+	cfg *config.Settings
 }
+
+// Config returns the settings document the simulation was built from. For a
+// restored simulation this is the snapshot's embedded document (plus any
+// worker-count override), so drivers can read effective settings either way.
+func (sm *Simulation) Config() *config.Settings { return sm.cfg }
 
 // Build assembles a simulation from the full settings document. It panics
 // (with *config.Error where applicable) on invalid settings; use BuildE for
@@ -138,7 +148,7 @@ func Build(cfg *config.Settings) *Simulation {
 		// pointers (aliasing bugs) are caught by the generation sentinel.
 		w.Pool().SetObserver(v)
 	}
-	sm := &Simulation{Sim: s, Net: net, Workload: w, Verify: v, Telemetry: tel}
+	sm := &Simulation{Sim: s, Net: net, Workload: w, Verify: v, Telemetry: tel, cfg: cfg}
 	// Opt-in parallel execution: "simulation": {"workers": N} partitions the
 	// routers across N-1 shards coordinated by the conservative engine, with
 	// results byte-identical to the serial path (workers <= 1, the default).
@@ -188,9 +198,19 @@ func (sm *Simulation) Run() (Result, error) {
 	if sm.engine != nil {
 		events, end = sm.engine.Run()
 	} else {
-		events = sm.Sim.Run()
+		// Cumulative rather than this call's delta: a restored simulation
+		// resumes with the checkpoint's executed-event total already seeded,
+		// and its final count must match the uninterrupted run's.
+		sm.Sim.Run()
+		events = sm.Sim.Executed()
 		end = sm.Sim.LastWork()
 	}
+	return sm.verifyOutcome(events, end)
+}
+
+// verifyOutcome assembles the Result and runs the post-drain checks shared by
+// Run and RunCheckpointed.
+func (sm *Simulation) verifyOutcome(events uint64, end sim.Time) (Result, error) {
 	res := Result{
 		Events:  events,
 		EndTick: end.Tick,

@@ -197,6 +197,15 @@ func runGoldenWorkers(t *testing.T, gc goldenCase, workers int) fingerprint {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return goldenFingerprint(t, gc, sm, res)
+}
+
+// goldenFingerprint extracts the behavioral signature from a completed run:
+// result counters, verifier conservation totals, and the sampled latency
+// histogram. The checkpoint harness shares it so restored continuations are
+// fingerprinted exactly like uninterrupted runs.
+func goldenFingerprint(t *testing.T, gc goldenCase, sm *Simulation, res Result) fingerprint {
+	t.Helper()
 	blast := sm.Workload.App(0).(*apps.Blast)
 	samples := blast.Stats().Samples()
 	if len(samples) == 0 {
@@ -217,6 +226,21 @@ func runGoldenWorkers(t *testing.T, gc goldenCase, workers int) fingerprint {
 		TotalHops:     hops,
 		LatencyHist:   histogram(samples),
 	}
+}
+
+// loadGolden reads the committed golden fingerprint for one case.
+func loadGolden(t *testing.T, gc goldenCase) fingerprint {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", gc.name+".json")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with %s=1 to create): %v", updateEnv, err)
+	}
+	var want fingerprint
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden %s: %v", path, err)
+	}
+	return want
 }
 
 func TestGoldenTraces(t *testing.T) {

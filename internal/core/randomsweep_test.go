@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"supersim/internal/config"
+	"supersim/internal/sim"
 	"supersim/internal/workload/apps"
 )
 
@@ -187,6 +188,129 @@ func TestRandomizedConfigSweep(t *testing.T) {
 			if !reflect.DeepEqual(sh, ph) {
 				t.Fatalf("parallel latency histogram diverged (workers=%d):\nserial:   %v\nparallel: %v",
 					workers, sh, ph)
+			}
+		})
+	}
+}
+
+// TestRandomizedCheckpointRestore is the randomized twin of the checkpoint
+// equivalence harness: each short randomized configuration runs once
+// uninterrupted and once with a snapshot at every 100-tick boundary, then a
+// continuation is restored from every captured snapshot — rotating the
+// worker-count override through {keep, 1, 2, 4} — and must reproduce the
+// uninterrupted run's result, conservation totals, and sampled latency
+// histogram exactly. The PRNG is fixed-seeded so failures reproduce.
+func TestRandomizedCheckpointRestore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x5EEDC0DE, 7))
+	pick := func(vals ...int) int { return vals[rng.IntN(len(vals))] }
+	nets := []func() string{
+		func() string {
+			return fmt.Sprintf(`{
+			  "topology": "torus",
+			  "dimensions": [%d, %d],
+			  "concentration": 1,
+			  "channel": {"latency": %d, "period": 2},
+			  "injection": {"latency": 2},
+			  "router": {
+			    "architecture": "input_queued",
+			    "num_vcs": %d,
+			    "input_buffer_depth": %d,
+			    "crossbar_latency": 2
+			  }
+			}`, pick(3, 4), pick(3, 4), pick(2, 4), pick(2, 4), pick(4, 8))
+		},
+		func() string {
+			return fmt.Sprintf(`{
+			  "topology": "parking_lot",
+			  "routers": %d,
+			  "channel": {"latency": %d, "period": 2},
+			  "injection": {"latency": 2},
+			  "router": {
+			    "architecture": "input_queued",
+			    "num_vcs": 2,
+			    "input_buffer_depth": %d,
+			    "crossbar_latency": 1
+			  }
+			}`, pick(3, 5), pick(2, 4), pick(4, 8))
+		},
+	}
+	type signature struct {
+		res      Result
+		injected uint64
+		retired  uint64
+		hist     [][2]uint64
+	}
+	sig := func(sm *Simulation, res Result) signature {
+		blast := sm.Workload.App(0).(*apps.Blast)
+		return signature{res, sm.Verify.Injected(), sm.Verify.Retired(),
+			histogram(blast.Stats().Samples())}
+	}
+	const runs = 4
+	for i := 0; i < runs; i++ {
+		doc := fmt.Sprintf(`{
+		  "simulation": {
+		    "seed": %d,
+		    "workers": %d,
+		    "verify": {"enabled": true, "watchdog_epoch": 20000}
+		  },
+		  "network": %s,
+		  "workload": {
+		    "applications": [{
+		      "type": "blast",
+		      "injection_rate": %g,
+		      "message_size": %d,
+		      "max_packet_size": 2,
+		      "warmup_duration": 150,
+		      "sample_duration": 400,
+		      "traffic": {"type": "uniform_random"}
+		    }]
+		  }
+		}`, rng.Uint64N(1<<20)+1, pick(1, 2), nets[i%len(nets)](),
+			[]float64{0.05, 0.1, 0.15}[rng.IntN(3)], pick(1, 2, 4))
+		t.Run(fmt.Sprintf("run%02d", i), func(t *testing.T) {
+			base := Build(config.MustParse(doc))
+			bres, err := base.Run()
+			if err != nil {
+				t.Fatalf("config:\n%s\nerror: %v", doc, err)
+			}
+			want := sig(base, bres)
+
+			type snap struct {
+				tick sim.Tick
+				data []byte
+			}
+			var snaps []snap
+			ck := Build(config.MustParse(doc))
+			cres, err := ck.RunCheckpointed(100, func(tick sim.Tick, data []byte) error {
+				snaps = append(snaps, snap{tick, append([]byte(nil), data...)})
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("checkpointed run: %v", err)
+			}
+			if got := sig(ck, cres); !reflect.DeepEqual(got, want) {
+				t.Fatalf("checkpointed run diverged:\ngot:  %+v\nwant: %+v", got, want)
+			}
+			if len(snaps) == 0 {
+				t.Fatal("no checkpoints captured")
+			}
+			for j, s := range snaps {
+				workers := []int{0, 1, 2, 4}[j%4]
+				rm, tick, err := Restore(s.data, workers)
+				if err != nil {
+					t.Fatalf("restore at tick %d (workers=%d): %v", s.tick, workers, err)
+				}
+				if tick != s.tick {
+					t.Fatalf("restore reported tick %d, snapshot taken at %d", tick, s.tick)
+				}
+				rres, err := rm.Run()
+				if err != nil {
+					t.Fatalf("continuation from tick %d (workers=%d): %v", s.tick, workers, err)
+				}
+				if got := sig(rm, rres); !reflect.DeepEqual(got, want) {
+					t.Fatalf("continuation from tick %d (workers=%d) diverged:\ngot:  %+v\nwant: %+v",
+						s.tick, workers, got, want)
+				}
 			}
 		})
 	}

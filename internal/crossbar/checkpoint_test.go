@@ -1,0 +1,48 @@
+package crossbar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supersim/internal/snapshot"
+)
+
+func TestCrossbarStateRoundTrip(t *testing.T) {
+	x := New(3, 1, 4, 1)
+	x.windowStart[0] = 8
+	x.windowCount[0] = 2
+	x.windowStart[2] = 12
+	x.windowCount[2] = 1
+	e := snapshot.NewEncoder()
+	x.SaveState(e)
+	data := e.Bytes()
+
+	got := New(3, 1, 4, 1)
+	d := snapshot.NewDecoder(data)
+	if err := got.LoadState(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after load", d.Remaining())
+	}
+	if got.windowStart[0] != 8 || got.windowCount[0] != 2 || got.windowStart[2] != 12 {
+		t.Fatalf("restored windows %v/%v", got.windowStart, got.windowCount)
+	}
+	e2 := snapshot.NewEncoder()
+	got.SaveState(e2)
+	if !bytes.Equal(e2.Bytes(), data) {
+		t.Fatal("re-saved crossbar state is not byte-identical")
+	}
+
+	narrow := New(2, 1, 4, 1)
+	if err := narrow.LoadState(snapshot.NewDecoder(data)); err == nil ||
+		!strings.Contains(err.Error(), "outputs") {
+		t.Fatalf("geometry mismatch: err = %v", err)
+	}
+	for _, n := range []int{0, len(data) / 2, len(data) - 1} {
+		if err := New(3, 1, 4, 1).LoadState(snapshot.NewDecoder(data[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", n)
+		}
+	}
+}

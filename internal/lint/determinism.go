@@ -24,6 +24,9 @@ var DefaultSimCorePackages = []string{
 	"supersim/internal/arbiter",
 	"supersim/internal/congestion",
 	"supersim/internal/types",
+	// Snapshot encoding is compared byte-for-byte by the import/export
+	// equivalence tests, so the codec must never iterate a raw Go map.
+	"supersim/internal/snapshot",
 }
 
 // DefaultWallClockAllow lists file-path suffixes exempt from the wall-clock

@@ -118,6 +118,15 @@ func TestDeterminismFixture(t *testing.T) {
 	runWantTest(t, p, []Analyzer{NewDeterminism()})
 }
 
+func TestDeterminismCoversSnapshotPackage(t *testing.T) {
+	// Snapshot encode/decode is byte-compared by the import/export
+	// equivalence tests, so the codec package is sim-core for the
+	// determinism rule: the fixture loaded under its import path must
+	// produce the same diagnostics as under internal/sim.
+	p := loadFixture(t, "determinism", "supersim/internal/snapshot/lintfixture")
+	runWantTest(t, p, []Analyzer{NewDeterminism()})
+}
+
 func TestDeterminismOutOfScope(t *testing.T) {
 	// The same files outside the sim-core prefixes produce nothing.
 	p := loadFixture(t, "determinism", "supersim/internal/lint/testdata/src/determinism")

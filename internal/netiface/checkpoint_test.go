@@ -1,0 +1,97 @@
+package netiface
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supersim/internal/snapshot"
+	"supersim/internal/types"
+)
+
+// stalledIface builds an interface stalled mid-message: one VC, one credit,
+// a 4-flit message in two packets — after the run, the head packet is half
+// sent and the second packet is still queued.
+func stalledIface(t *testing.T) *Interface {
+	t.Helper()
+	s, n, stub, _ := rig(t, 1, 1, nil)
+	n.SendMessage(msg(9, 0, 5, 4, 2))
+	s.Run()
+	if len(stub.flits) != 1 || n.QueueDepth() != 2 {
+		t.Fatalf("rig not stalled as expected: %d flits, depth %d", len(stub.flits), n.QueueDepth())
+	}
+	return n
+}
+
+func saveIface(n *Interface, tab *types.MessageTable) []byte {
+	e := snapshot.NewEncoder()
+	n.SaveState(e, tab)
+	return e.Bytes()
+}
+
+func TestInterfaceStateRoundTrip(t *testing.T) {
+	n := stalledIface(t)
+	tab := types.NewMessageTable()
+	n.Collect(tab)
+	if tab.Len() != 1 {
+		t.Fatalf("collected %d messages, want 1", tab.Len())
+	}
+	te := snapshot.NewEncoder()
+	tab.SaveState(te)
+	data := saveIface(n, tab)
+
+	rtab, err := types.LoadMessageTable(snapshot.NewDecoder(te.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, _ := rig(t, 1, 1, nil)
+	d := snapshot.NewDecoder(data)
+	if err := got.LoadState(d, rtab); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after load", d.Remaining())
+	}
+	if got.QueueDepth() != 2 || got.FlitsSent() != 1 || got.curFlit != n.curFlit {
+		t.Fatalf("restored interface: depth %d sent %d curFlit %d",
+			got.QueueDepth(), got.FlitsSent(), got.curFlit)
+	}
+	if got.InjectionCredits()[0] != 0 {
+		t.Fatalf("restored credits %v, want exhausted", got.InjectionCredits())
+	}
+	if !bytes.Equal(saveIface(got, rtab), data) {
+		t.Fatal("re-saved interface state is not byte-identical")
+	}
+}
+
+func TestInterfaceLoadRejectsMismatchedBuild(t *testing.T) {
+	n := stalledIface(t)
+	tab := types.NewMessageTable()
+	n.Collect(tab)
+	data := saveIface(n, tab)
+
+	// A rebuild with a different VC count must be rejected.
+	_, wide, _, _ := rig(t, 2, 1, nil)
+	if err := wide.LoadState(snapshot.NewDecoder(data), tab); err == nil ||
+		!strings.Contains(err.Error(), "VCs") {
+		t.Fatalf("VC mismatch: err = %v", err)
+	}
+
+	// An injection-queue entry whose packet reference is absent.
+	e := snapshot.NewEncoder()
+	n.SaveOrder(e)
+	e.Int(1)      // one queued packet
+	e.Bool(false) // ... with no message reference
+	_, got, _, _ := rig(t, 1, 1, nil)
+	if err := got.LoadState(snapshot.NewDecoder(e.Bytes()), tab); err == nil ||
+		!strings.Contains(err.Error(), "no packet") {
+		t.Fatalf("missing packet: err = %v", err)
+	}
+
+	for _, nbytes := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		_, fresh, _, _ := rig(t, 1, 1, nil)
+		if err := fresh.LoadState(snapshot.NewDecoder(data[:nbytes]), tab); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", nbytes)
+		}
+	}
+}

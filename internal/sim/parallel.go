@@ -272,28 +272,89 @@ func (e *Engine) Link(src, dst *Simulator, latency Tick, tgt RemoteReceiver) *Re
 }
 
 // Run executes the simulation across all shards until it is globally
-// quiescent (no queued non-daemon events and no in-flight posts) or stopped.
-// It returns the total non-daemon events executed and the latest LastWork
-// time across shards — the simulation's logical end. Daemon events queued
-// beyond the last real work (trailing watchdog/snapshot wake-ups) are
-// deliberately not chased: they are pure observers, and forcing every shard
-// to lock-step lookahead windows toward them would serialize the drain.
+// quiescent (no queued non-daemon events and no in-flight posts) or stopped,
+// then finalizes. It returns the total non-daemon events executed and the
+// latest LastWork time across shards — the simulation's logical end. Daemon
+// events queued beyond the last real work (trailing watchdog/snapshot
+// wake-ups) are deliberately not chased: they are pure observers, and forcing
+// every shard to lock-step lookahead windows toward them would serialize the
+// drain.
 //
-// Run may be called once per engine. A panic on any shard stops all workers
-// and is re-raised on the calling goroutine.
+// Run is equivalent to RunUntil(^Tick(0)) followed by Finish. Checkpointing
+// drivers use the phased form directly: step to a snapshot tick with
+// RunUntil, settle cross-shard posts with DrainCross, serialize, repeat, and
+// call Finish exactly once at the true end of the run.
 func (e *Engine) Run() (uint64, Time) {
+	e.RunUntil(^Tick(0))
+	return e.Finish()
+}
+
+// RunUntil executes events across all shards until every shard has committed
+// the given tick (every event strictly before it has executed), the
+// simulation is globally quiescent, or it is stopped. Shards run their usual
+// conservative windows with the horizon additionally clipped to the cap, so
+// a capped phase executes exactly the serial RunUntil(cap) prefix of the
+// run. A panic on any shard stops all workers and is re-raised here.
+//
+// RunUntil may be called repeatedly with increasing ticks; commit times
+// persist across phases. After a capped phase, cross-shard posts sent by the
+// final windows may still sit in inboxes — callers that need a complete
+// global state at the cap (checkpointing) must call DrainCross before
+// reading it.
+func (e *Engine) RunUntil(tick Tick) {
 	var wg sync.WaitGroup
 	for _, sh := range e.shards {
 		wg.Add(1)
 		go func(sh *shardState) {
 			defer wg.Done()
-			e.runShard(sh)
+			e.runShard(sh, tick)
 		}(sh)
 	}
 	wg.Wait()
 	if e.panicV != nil {
 		panic(e.panicV)
 	}
+}
+
+// DrainCross applies every undrained cross-shard post on the calling
+// goroutine. It must only be called between phases (no workers running), at
+// which point every post targets the current or a later window; the posts
+// become locally queued events on their destination shards, completing the
+// global state for a snapshot.
+func (e *Engine) DrainCross() {
+	for _, sh := range e.shards {
+		sh.drain()
+	}
+}
+
+// Quiesced reports whether the simulation is globally quiescent: no queued
+// non-daemon events on any shard and no undrained cross-shard posts. It is
+// only meaningful between phases.
+func (e *Engine) Quiesced() bool { return e.work.Load() == 0 }
+
+// Stopped reports whether the run was halted by Stop on any shard.
+func (e *Engine) Stopped() bool { return e.stop.Load() }
+
+// SeedCommit marks every shard as having committed the given tick. Restore
+// uses it after rebuilding state at a checkpoint tick T: every queued event
+// is at T or later, so committing T is vacuously sound, and without it the
+// first phase would crawl from tick 0 to T in empty lookahead windows. It
+// also refreshes each shard's published pending count from its restored
+// queue.
+func (e *Engine) SeedCommit(tick Tick) {
+	for _, sh := range e.shards {
+		if Tick(sh.commit.Load()) < tick {
+			sh.commit.Store(uint64(tick))
+		}
+		sh.pendingPub.Store(int64(sh.sim.queue.len() - sh.sim.daemons))
+	}
+}
+
+// Finish finalizes a run driven by RunUntil phases: it totals the non-daemon
+// events executed, computes the latest LastWork across shards, and flushes
+// the host's periodic reporters exactly as a serial Run would. Call it once,
+// after the last phase.
+func (e *Engine) Finish() (uint64, Time) {
 	var events uint64
 	var end Time
 	for _, sh := range e.shards {
@@ -302,8 +363,6 @@ func (e *Engine) Run() (uint64, Time) {
 			end = sh.sim.lastWork
 		}
 	}
-	// The host's periodic reporters flush their final interval exactly as a
-	// serial Run would.
 	e.host.FinishMonitor()
 	return events, end
 }
@@ -314,7 +373,7 @@ func (e *Engine) wakeAll() {
 	}
 }
 
-func (e *Engine) runShard(sh *shardState) {
+func (e *Engine) runShard(sh *shardState, cap Tick) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.pmu.Lock()
@@ -327,11 +386,17 @@ func (e *Engine) runShard(sh *shardState) {
 		}
 	}()
 	for {
-		if e.stop.Load() {
+		if e.stop.Load() || e.finish.Load() {
+			// finish persists across phases: once the simulation is globally
+			// quiescent, a later capped phase must not dig into the trailing
+			// daemon events a completed run deliberately leaves queued.
 			return
 		}
 		// Horizon before drain — see the package comment for why.
 		h := sh.horizon()
+		if h > cap {
+			h = cap
+		}
 		progressed := sh.drain()
 		if committed := Tick(sh.commit.Load()); h > committed {
 			sh.sim.runUntil(h, h == ^Tick(0))
@@ -354,6 +419,12 @@ func (e *Engine) runShard(sh *shardState) {
 			return
 		}
 		if e.finish.Load() {
+			return
+		}
+		if Tick(sh.commit.Load()) >= cap {
+			// Phase cap reached: this shard's prefix is complete. The check
+			// sits after the stop/finish checks and before the sleep so a
+			// capped shard never blocks on a wake that will not come.
 			return
 		}
 		if !progressed {

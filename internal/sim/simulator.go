@@ -36,7 +36,15 @@ type Simulator struct {
 	daemons  int // queued events scheduled with ScheduleDaemon
 	free     []*Event
 	rng      *rand.Rand
+	pcg      *rand.PCG // rng's source, retained so checkpoints can serialize it
 	seed     uint64
+
+	// derived records every DeriveRand stream in derivation order, so
+	// checkpoints can serialize and restore the streams' PCG states. The
+	// registry is a slice, not a map: derivation order is deterministic
+	// (construction is config-driven and single-threaded), and slice
+	// iteration keeps snapshot bytes deterministic too.
+	derived []derivedStream
 
 	// shard is non-nil when this simulator is coordinated by a parallel
 	// Engine; it carries the cross-shard inbox and horizon state.
@@ -62,10 +70,19 @@ type Simulator struct {
 	telemetry any
 }
 
+// derivedStream is one DeriveRand stream: its name and the PCG source whose
+// state evolves as the holder draws.
+type derivedStream struct {
+	name string
+	pcg  *rand.PCG
+}
+
 // NewSimulator creates a simulator with the given PRNG seed.
 func NewSimulator(seed uint64) *Simulator {
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
 	return &Simulator{
-		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rng:  rand.New(pcg),
+		pcg:  pcg,
 		seed: seed,
 	}
 }
@@ -96,7 +113,9 @@ func (s *Simulator) DeriveRand(name string) *rand.Rand {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	sub := h.Sum64()
-	return rand.New(rand.NewPCG(s.seed^sub, (s.seed+0x9e3779b97f4a7c15)^(sub*0xff51afd7ed558ccd|1)))
+	pcg := rand.NewPCG(s.seed^sub, (s.seed+0x9e3779b97f4a7c15)^(sub*0xff51afd7ed558ccd|1))
+	s.derived = append(s.derived, derivedStream{name: name, pcg: pcg})
+	return rand.New(pcg)
 }
 
 // nextOrderKey hands out construction-order keys for component event

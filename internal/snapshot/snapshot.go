@@ -1,0 +1,338 @@
+// Package snapshot implements the wire codec for simulator checkpoints: a
+// compact, versioned, deterministic binary format every stateful component
+// serializes itself into (see the per-package checkpoint.go files and
+// internal/core's container assembly).
+//
+// The codec is a leaf: it depends only on the standard library, so every
+// package in the simulator — including internal/sim itself — can import it.
+//
+// # Format
+//
+// A snapshot is a byte stream of primitive values: unsigned varints, zigzag
+// signed varints, fixed 8-byte float bits, length-prefixed blobs/strings, and
+// single-byte booleans. There is no self-description; reader and writer must
+// agree on the sequence, which is why the stream opens with a magic string
+// and a schema version (WriteHeader/ReadHeader) and why readers fail fast on
+// any version they do not know. Section tags (Section) are short embedded
+// markers that turn a misaligned read into an immediate, located error
+// instead of garbage values propagating downstream.
+//
+// # Error handling
+//
+// The Decoder is sticky: the first malformed, truncated, or out-of-bounds
+// read records an error, and every subsequent read returns a zero value
+// without advancing. Callers check Err (or the error returned by the typed
+// helpers) once per logical unit rather than after every primitive. Decoding
+// never panics on arbitrary input — lengths and counts are bounds-checked
+// against the remaining input before any allocation — which is fuzz-enforced
+// by FuzzDecoder.
+//
+// # Determinism
+//
+// Snapshot bytes are compared byte-for-byte by the import/export equivalence
+// tests, so encoders must be deterministic: iterate slices, or map keys in
+// sorted order, never raw Go maps. The sslint determinism rule covers this
+// package for that reason.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Magic opens every snapshot stream.
+const Magic = "SSIMSNAP"
+
+// Version is the schema version this build reads and writes. Readers reject
+// any other version (fail-fast forward compatibility): state layouts are not
+// self-describing, so decoding a future layout would silently corrupt state.
+const Version = 1
+
+// Encoder appends primitive values to a growing byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded stream. The slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// WriteHeader writes the magic string and schema version.
+func (e *Encoder) WriteHeader() {
+	e.buf = append(e.buf, Magic...)
+	e.U64(Version)
+}
+
+// U64 writes an unsigned varint.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// U32 writes a 32-bit unsigned value as a varint.
+func (e *Encoder) U32(v uint32) { e.U64(uint64(v)) }
+
+// I64 writes a signed value as a zigzag varint.
+func (e *Encoder) I64(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Int writes a signed int as a zigzag varint.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool writes a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bits, fixed 8 bytes little-endian.
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Blob writes a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Str writes a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Section writes a named section marker. The matching Decoder.Section call
+// verifies it, localizing any encoder/decoder sequence mismatch.
+func (e *Encoder) Section(tag string) { e.Str(tag) }
+
+// Decoder reads primitive values from a byte stream with sticky error
+// semantics: after the first error every read returns a zero value.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder wraps a byte stream for decoding.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf records a decoding error (if none is recorded yet) and returns it.
+// Component loaders use it to reject semantically invalid values the codec
+// itself cannot know about (counts out of range, mismatched identities).
+func (d *Decoder) Failf(format string, args ...any) error {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+	return d.err
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.off }
+
+// Done returns an error if decoding failed or unread bytes remain.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return d.Failf("%d trailing bytes after decode", len(d.data)-d.off)
+	}
+	return nil
+}
+
+// ReadHeader validates the magic string and schema version, failing fast on
+// unknown versions.
+func (d *Decoder) ReadHeader() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.data)-d.off < len(Magic) || string(d.data[d.off:d.off+len(Magic)]) != Magic {
+		return d.Failf("bad magic: not a snapshot stream")
+	}
+	d.off += len(Magic)
+	v := d.U64()
+	if d.err != nil {
+		return d.err
+	}
+	if v != Version {
+		return d.Failf("unsupported schema version %d (this build reads version %d)", v, Version)
+	}
+	return nil
+}
+
+// U64 reads an unsigned varint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.Failf("truncated or malformed varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// U32 reads a 32-bit unsigned value, rejecting out-of-range varints.
+func (d *Decoder) U32() uint32 {
+	v := d.U64()
+	if v > math.MaxUint32 {
+		d.Failf("value %d overflows uint32", v)
+		return 0
+	}
+	return uint32(v)
+}
+
+// I64 reads a zigzag signed varint.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.Failf("truncated or malformed varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a signed int, rejecting values that do not fit the platform int.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.Failf("value %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a single-byte boolean; any value other than 0 or 1 is an error.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.Remaining() < 1 {
+		d.Failf("truncated bool at offset %d", d.off)
+		return false
+	}
+	b := d.data[d.off]
+	d.off++
+	switch b {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.Failf("invalid bool byte %d at offset %d", b, d.off-1)
+	return false
+}
+
+// F64 reads a fixed 8-byte IEEE-754 float.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.Failf("truncated float64 at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Blob reads a length-prefixed byte slice. The length is bounds-checked
+// against the remaining input before allocating, so corrupted lengths cannot
+// trigger huge allocations.
+func (d *Decoder) Blob() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.Failf("blob length %d exceeds %d remaining bytes at offset %d", n, d.Remaining(), d.off)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.data[d.off:d.off+int(n)])
+	d.off += int(n)
+	return b
+}
+
+// Str reads a length-prefixed string, bounds-checked like Blob.
+func (d *Decoder) Str() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.Failf("string length %d exceeds %d remaining bytes at offset %d", n, d.Remaining(), d.off)
+		return ""
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Count reads an element count written by Encoder.Int for a follow-on
+// sequence of records. Negative counts are rejected, and because every record
+// occupies at least one byte, a count larger than the remaining input is
+// necessarily corrupt; rejecting it here lets loaders size slices with
+// make(count) without an allocation-bomb risk.
+func (d *Decoder) Count() int {
+	at := d.off
+	n := d.I64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 {
+		d.Failf("negative count %d at offset %d", n, at)
+		return 0
+	}
+	if n > int64(d.Remaining()) {
+		d.Failf("count %d exceeds %d remaining bytes at offset %d", n, d.Remaining(), at)
+		return 0
+	}
+	return int(n)
+}
+
+// Section verifies a named section marker written by Encoder.Section.
+func (d *Decoder) Section(tag string) error {
+	if d.err != nil {
+		return d.err
+	}
+	at := d.off
+	got := d.Str()
+	if d.err != nil {
+		return d.err
+	}
+	if got != tag {
+		return d.Failf("expected section %q at offset %d, found %q", tag, at, got)
+	}
+	return nil
+}
+
+// Stater is implemented by components that serialize their mutable state.
+// SaveState appends to the encoder; LoadState consumes the exact same
+// sequence and reports the first decoding or consistency error. LoadState
+// runs on a freshly built component (same configuration), so it overwrites
+// state rather than constructing it.
+type Stater interface {
+	SaveState(e *Encoder)
+	LoadState(d *Decoder) error
+}

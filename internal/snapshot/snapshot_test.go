@@ -1,0 +1,176 @@
+package snapshot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.WriteHeader()
+	e.Section("ABC")
+	e.U64(0)
+	e.U64(math.MaxUint64)
+	e.U32(0xdeadbeef)
+	e.I64(-1)
+	e.I64(math.MinInt64)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.14159)
+	e.F64(math.Inf(-1))
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+	e.Str("hello")
+	e.Str("")
+
+	d := NewDecoder(e.Bytes())
+	if err := d.ReadHeader(); err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if err := d.Section("ABC"); err != nil {
+		t.Fatalf("Section: %v", err)
+	}
+	if v := d.U64(); v != 0 {
+		t.Errorf("U64 = %d, want 0", v)
+	}
+	if v := d.U64(); v != math.MaxUint64 {
+		t.Errorf("U64 = %d, want max", v)
+	}
+	if v := d.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %x", v)
+	}
+	if v := d.I64(); v != -1 {
+		t.Errorf("I64 = %d, want -1", v)
+	}
+	if v := d.I64(); v != math.MinInt64 {
+		t.Errorf("I64 = %d, want min", v)
+	}
+	if v := d.Int(); v != -42 {
+		t.Errorf("Int = %d, want -42", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool sequence wrong")
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := d.F64(); !math.IsInf(v, -1) {
+		t.Errorf("F64 = %v, want -Inf", v)
+	}
+	if b := d.Blob(); len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("Blob = %v", b)
+	}
+	if b := d.Blob(); len(b) != 0 {
+		t.Errorf("empty Blob = %v", b)
+	}
+	if s := d.Str(); s != "hello" {
+		t.Errorf("Str = %q", s)
+	}
+	if s := d.Str(); s != "" {
+		t.Errorf("empty Str = %q", s)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestHeaderRejectsBadMagic(t *testing.T) {
+	d := NewDecoder([]byte("NOTASNAP\x01"))
+	if err := d.ReadHeader(); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestHeaderRejectsVersionSkew(t *testing.T) {
+	e := NewEncoder()
+	e.buf = append(e.buf, Magic...)
+	e.U64(Version + 7)
+	d := NewDecoder(e.Bytes())
+	if err := d.ReadHeader(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestHeaderRejectsTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.WriteHeader()
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		if err := d.ReadHeader(); err == nil {
+			t.Fatalf("truncated header at %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.U64() // fails: empty input
+	if d.Err() == nil {
+		t.Fatal("expected error on empty input")
+	}
+	first := d.Err()
+	// Every further read must return zero values and keep the first error.
+	if d.U64() != 0 || d.I64() != 0 || d.Bool() || d.F64() != 0 || d.Str() != "" || d.Blob() != nil {
+		t.Error("reads after error did not return zero values")
+	}
+	if d.Err() != first {
+		t.Errorf("sticky error replaced: %v -> %v", first, d.Err())
+	}
+}
+
+func TestBlobLengthBomb(t *testing.T) {
+	e := NewEncoder()
+	e.U64(1 << 40) // a 1 TiB length prefix with no payload
+	d := NewDecoder(e.Bytes())
+	if b := d.Blob(); b != nil || d.Err() == nil {
+		t.Fatalf("oversized blob length decoded: %v, err %v", b, d.Err())
+	}
+}
+
+func TestCountBomb(t *testing.T) {
+	e := NewEncoder()
+	e.Int(1 << 40)
+	d := NewDecoder(e.Bytes())
+	if n := d.Count(); n != 0 || d.Err() == nil {
+		t.Fatalf("oversized count accepted: %d, err %v", n, d.Err())
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	e := NewEncoder()
+	e.Section("AAA")
+	d := NewDecoder(e.Bytes())
+	if err := d.Section("BBB"); err == nil || !strings.Contains(err.Error(), "section") {
+		t.Fatalf("want section mismatch error, got %v", err)
+	}
+}
+
+func TestDoneRejectsTrailingBytes(t *testing.T) {
+	e := NewEncoder()
+	e.U64(7)
+	e.U64(9)
+	d := NewDecoder(e.Bytes())
+	_ = d.U64()
+	if err := d.Done(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+}
+
+func TestBoolRejectsInvalidByte(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	if d.Bool() || d.Err() == nil {
+		t.Fatalf("invalid bool byte accepted, err %v", d.Err())
+	}
+}
+
+func TestIntOverflowRejected(t *testing.T) {
+	e := NewEncoder()
+	e.U64(math.MaxUint64)
+	d := NewDecoder(e.Bytes())
+	if v := d.U32(); v != 0 || d.Err() == nil {
+		t.Fatalf("uint32 overflow accepted: %d", v)
+	}
+}

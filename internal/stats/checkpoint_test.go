@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"supersim/internal/snapshot"
+)
+
+func recorderWithSamples() *Recorder {
+	r := NewRecorder()
+	r.Record(Sample{Start: 10, End: 25, Flits: 4, Hops: 3, NonMinimal: true, App: 1, Src: 2, Dst: 7})
+	r.Record(Sample{Start: 11, End: 11, Flits: 1, Hops: 1, App: 0, Src: 5, Dst: 0})
+	r.Record(Sample{Start: 40, End: 90, Flits: 8, Hops: 5, App: 1, Src: 0, Dst: 3})
+	return r
+}
+
+func TestRecorderStateRoundTrip(t *testing.T) {
+	r := recorderWithSamples()
+	_ = r.Percentile(50) // materialize the derived sorted view before saving
+
+	e := snapshot.NewEncoder()
+	r.SaveState(e)
+
+	// Load over a recorder holding different samples and a stale sorted
+	// view: both must be replaced.
+	got := NewRecorder()
+	got.Record(Sample{Start: 1, End: 2, Flits: 1, Hops: 1})
+	_ = got.Mean()
+	d := snapshot.NewDecoder(e.Bytes())
+	if err := got.LoadState(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after load", d.Remaining())
+	}
+	if !reflect.DeepEqual(got.Samples(), r.Samples()) {
+		t.Fatalf("samples differ:\n got %+v\nwant %+v", got.Samples(), r.Samples())
+	}
+	if got.Percentile(99) != r.Percentile(99) || got.Mean() != r.Mean() {
+		t.Fatal("derived statistics differ after restore")
+	}
+
+	e2 := snapshot.NewEncoder()
+	got.SaveState(e2)
+	if !bytes.Equal(e.Bytes(), e2.Bytes()) {
+		t.Fatal("re-saved recorder state is not byte-identical")
+	}
+}
+
+func TestRecorderStateRoundTripEmpty(t *testing.T) {
+	e := snapshot.NewEncoder()
+	NewRecorder().SaveState(e)
+	got := recorderWithSamples()
+	if err := got.LoadState(snapshot.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 0 {
+		t.Fatalf("restored empty recorder has %d samples", got.Count())
+	}
+}
+
+func TestRecorderLoadRejectsInvertedSample(t *testing.T) {
+	e := snapshot.NewEncoder()
+	e.Int(1)
+	e.U64(20) // Start
+	e.U64(5)  // End before Start
+	e.Int(1)
+	e.Int(1)
+	e.Bool(false)
+	e.Int(0)
+	e.Int(0)
+	e.Int(0)
+	err := NewRecorder().LoadState(snapshot.NewDecoder(e.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "ends") {
+		t.Fatalf("err = %v, want inverted-sample error", err)
+	}
+}
+
+func TestRecorderLoadRejectsTruncation(t *testing.T) {
+	e := snapshot.NewEncoder()
+	recorderWithSamples().SaveState(e)
+	data := e.Bytes()
+	for _, n := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if err := NewRecorder().LoadState(snapshot.NewDecoder(data[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", n)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package types
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supersim/internal/snapshot"
+)
+
+// testMessage builds a message with every serialized field set to a
+// non-default value so round trips exercise real state, not zeroes.
+func testMessage(pool *Pool, id uint64) *Message {
+	var m *Message
+	if pool != nil {
+		m = pool.NewMessage(id, 1, 2, 3, 5, 2)
+	} else {
+		m = NewMessage(id, 1, 2, 3, 5, 2)
+	}
+	m.Transaction = 99
+	m.CreateTime = 10
+	m.InjectTime = 12
+	m.ReceiveTime = 30
+	m.Sampled = true
+	m.OpCode = 4
+	m.RxRemaining = 2
+	for i, p := range m.Packets {
+		p.HopCount = i + 1
+		p.NonMinimal = i%2 == 0
+		p.Intermediate = 7
+		p.InjectTime = 13
+		p.ReceiveTime = 29
+		p.Routing.Valid = true
+		p.Routing.Phase = int8(i - 1)
+		p.Routing.Dateline = i == 0
+		p.rxNext = i
+		for j, f := range p.Flits {
+			f.VC = j % 3
+			f.SendTime = 14
+			f.ReceiveTime = 15
+			f.vfGen = m.gen
+			f.vfInFlight = j == 0
+		}
+	}
+	return m
+}
+
+func saveTable(t *MessageTable) []byte {
+	e := snapshot.NewEncoder()
+	t.SaveState(e)
+	return e.Bytes()
+}
+
+func TestMessageTableRoundTrip(t *testing.T) {
+	pool := NewPool()
+	m7 := testMessage(pool, 7)
+	m3 := testMessage(pool, 3)
+	tab := NewMessageTable()
+	tab.Add(m7) // out of ID order: SaveState must sort
+	tab.Add(m3)
+	tab.Add(m7) // duplicate add is a no-op
+	tab.Add(nil)
+	if tab.Len() != 2 {
+		t.Fatalf("table len %d, want 2", tab.Len())
+	}
+	data := saveTable(tab)
+
+	d := snapshot.NewDecoder(data)
+	got, err := LoadMessageTable(d, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after load", d.Remaining())
+	}
+	if got.Len() != 2 {
+		t.Fatalf("restored table len %d", got.Len())
+	}
+	// The restored messages must re-serialize to the identical bytes: every
+	// field of every packet and flit made the trip.
+	if !bytes.Equal(saveTable(got), data) {
+		t.Fatal("restored table does not re-serialize byte-identically")
+	}
+	rm := got.idx[7]
+	if rm == nil || rm.Src != 2 || rm.Dst != 3 || rm.Transaction != 99 || !rm.Sampled {
+		t.Fatalf("restored message 7 lost fields: %+v", rm)
+	}
+	if rm.pool != pool {
+		t.Fatal("restored message not owned by the given pool")
+	}
+	if len(rm.Packets) != 3 || rm.Packets[0].Size() != 2 || rm.Packets[2].Size() != 1 {
+		t.Fatal("restored message shape wrong (5 flits, max packet 2)")
+	}
+}
+
+func TestFlitAndPacketReferences(t *testing.T) {
+	m := testMessage(nil, 11)
+	tab := NewMessageTable()
+	tab.Add(m)
+	e := snapshot.NewEncoder()
+	tab.SaveState(e)
+	tab.EncodeFlit(e, m.Packets[1].Flits[1])
+	tab.EncodeFlit(e, nil)
+	tab.EncodePacket(e, m.Packets[2])
+	tab.EncodePacket(e, nil)
+
+	d := snapshot.NewDecoder(e.Bytes())
+	got, err := LoadMessageTable(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := got.DecodeFlit(d)
+	if err != nil || f == nil || f.Pkt.Msg.ID != 11 || f.Pkt.ID != 1 || f.ID != 1 {
+		t.Fatalf("flit reference resolved to %v (err %v)", f, err)
+	}
+	if f2, err := got.DecodeFlit(d); err != nil || f2 != nil {
+		t.Fatalf("nil flit reference resolved to %v (err %v)", f2, err)
+	}
+	p, err := got.DecodePacket(d)
+	if err != nil || p == nil || p.Msg.ID != 11 || p.ID != 2 {
+		t.Fatalf("packet reference resolved to %v (err %v)", p, err)
+	}
+	if p2, err := got.DecodePacket(d); err != nil || p2 != nil {
+		t.Fatalf("nil packet reference resolved to %v (err %v)", p2, err)
+	}
+}
+
+func TestReferenceDecodingRejectsCorruption(t *testing.T) {
+	m := testMessage(nil, 5)
+	tab := NewMessageTable()
+	tab.Add(m)
+
+	encodeRef := func(fn func(e *snapshot.Encoder)) *snapshot.Decoder {
+		e := snapshot.NewEncoder()
+		fn(e)
+		return snapshot.NewDecoder(e.Bytes())
+	}
+	cases := []struct {
+		name string
+		run  func(d *snapshot.Decoder) error
+		enc  func(e *snapshot.Encoder)
+		want string
+	}{
+		{"flit unknown message", func(d *snapshot.Decoder) error { _, err := tab.DecodeFlit(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(99); e.Int(0); e.Int(0) }, "unknown message"},
+		{"flit packet out of range", func(d *snapshot.Decoder) error { _, err := tab.DecodeFlit(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(5); e.Int(9); e.Int(0) }, "packet 9"},
+		{"flit index out of range", func(d *snapshot.Decoder) error { _, err := tab.DecodeFlit(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(5); e.Int(0); e.Int(9) }, "flit 9"},
+		{"flit truncated", func(d *snapshot.Decoder) error { _, err := tab.DecodeFlit(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true) }, "snapshot:"},
+		{"packet unknown message", func(d *snapshot.Decoder) error { _, err := tab.DecodePacket(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(99); e.Int(0) }, "unknown message"},
+		{"packet out of range", func(d *snapshot.Decoder) error { _, err := tab.DecodePacket(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(5); e.Int(-1) }, "packet -1"},
+		{"packet truncated", func(d *snapshot.Decoder) error { _, err := tab.DecodePacket(d); return err },
+			func(e *snapshot.Encoder) { e.Bool(true); e.U64(5) }, "snapshot:"},
+	}
+	for _, tc := range cases {
+		if err := tc.run(encodeRef(tc.enc)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadMessageTableRejectsCorruption(t *testing.T) {
+	load := func(fn func(e *snapshot.Encoder)) error {
+		e := snapshot.NewEncoder()
+		fn(e)
+		_, err := LoadMessageTable(snapshot.NewDecoder(e.Bytes()), nil)
+		return err
+	}
+	m7 := testMessage(nil, 7)
+	m3 := testMessage(nil, 3)
+	cases := []struct {
+		name string
+		enc  func(e *snapshot.Encoder)
+		want string
+	}{
+		{"zero flits", func(e *snapshot.Encoder) { e.Int(1); e.U64(4); e.Int(0); e.Int(1) }, "invalid shape"},
+		{"zero max packet", func(e *snapshot.Encoder) { e.Int(1); e.U64(4); e.Int(2); e.Int(0) }, "invalid shape"},
+		{"flit bomb", func(e *snapshot.Encoder) { e.Int(1); e.U64(4); e.Int(1 << 30); e.Int(2) }, "exceeds remaining"},
+		{"unsorted", func(e *snapshot.Encoder) { e.Int(2); m7.saveState(e); m3.saveState(e) }, "not sorted"},
+		{"truncated", func(e *snapshot.Encoder) { e.Int(3); m3.saveState(e) }, "snapshot:"},
+		{"empty", func(e *snapshot.Encoder) {}, "snapshot:"},
+	}
+	for _, tc := range cases {
+		if err := load(tc.enc); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMessageTablePanics(t *testing.T) {
+	tab := NewMessageTable()
+	tab.Add(testMessage(nil, 1))
+	mustPanicContains(t, "share an ID", func() { tab.Add(testMessage(nil, 1)) })
+	stranger := testMessage(nil, 2)
+	e := snapshot.NewEncoder()
+	mustPanicContains(t, "not in the checkpoint table", func() { tab.EncodeFlit(e, stranger.Packets[0].Flits[0]) })
+	mustPanicContains(t, "not in the checkpoint table", func() { tab.EncodePacket(e, stranger.Packets[0]) })
+}
+
+func mustPanicContains(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestPoolStateRoundTrip(t *testing.T) {
+	p := NewPool()
+	a := p.NewMessage(1, 0, 0, 1, 4, 2)
+	p.Release(a)
+	b := p.NewMessage(2, 0, 0, 1, 4, 2) // same bucket: a hit
+	_ = b
+	e := snapshot.NewEncoder()
+	p.SaveState(e)
+
+	got := NewPool()
+	if err := got.LoadState(snapshot.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats() != p.Stats() {
+		t.Fatalf("pool stats %+v, want %+v", got.Stats(), p.Stats())
+	}
+	if err := got.LoadState(snapshot.NewDecoder(nil)); err == nil {
+		t.Fatal("empty input loaded without error")
+	}
+}
+
+func TestOrderCheckerStateRoundTrip(t *testing.T) {
+	c := NewOrderChecker(0)
+	m := NewMessage(9, 0, 0, 0, 2, 2)
+	if c.Check(m.Packets[0].Flits[0]) {
+		t.Fatal("head flit of a 2-flit packet reported as packet completion")
+	}
+	e := snapshot.NewEncoder()
+	c.SaveState(e)
+
+	got := NewOrderChecker(0)
+	if err := got.LoadState(snapshot.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Outstanding() != c.Outstanding() {
+		t.Fatalf("outstanding %d, want %d", got.Outstanding(), c.Outstanding())
+	}
+	if err := got.LoadState(snapshot.NewDecoder(nil)); err == nil {
+		t.Fatal("empty input loaded without error")
+	}
+}

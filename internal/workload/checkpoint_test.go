@@ -1,0 +1,155 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supersim/internal/config"
+	"supersim/internal/network"
+	"supersim/internal/sim"
+	"supersim/internal/snapshot"
+	"supersim/internal/workload"
+)
+
+// staterApp is a checkpointable fake: fakeApp plus AppStater with one
+// counter of state, so workload round trips can verify application state
+// travels in registration order.
+type staterApp struct {
+	fakeApp
+	counter uint64
+}
+
+func (a *staterApp) SaveState(e *snapshot.Encoder)       { e.U64(a.counter) }
+func (a *staterApp) LoadState(d *snapshot.Decoder) error { a.counter = d.U64(); return d.Err() }
+
+var staters []*staterApp
+
+func init() {
+	workload.Registry.Register("test_stater",
+		func(s *sim.Simulator, cfg *config.Settings, w *workload.Workload, appID int, net network.Network) workload.Application {
+			a := &staterApp{}
+			a.w = w
+			a.id = appID
+			staters = append(staters, a)
+			return a
+		})
+}
+
+// buildStaterWorkload mirrors buildWorkload with checkpointable apps.
+func buildStaterWorkload(t *testing.T, numApps int) (*workload.Workload, []*staterApp) {
+	t.Helper()
+	staters = nil
+	s := sim.NewSimulator(1)
+	netCfg := config.MustParse(`{
+	  "topology": "parking_lot",
+	  "routers": 2,
+	  "channel": {"latency": 2, "period": 1},
+	  "injection": {"latency": 1},
+	  "router": {"architecture": "input_queued", "num_vcs": 1, "input_buffer_depth": 4, "crossbar_latency": 1}
+	}`)
+	net := network.New(s, netCfg)
+	apps := `{"applications": [`
+	for i := 0; i < numApps; i++ {
+		if i > 0 {
+			apps += ","
+		}
+		apps += `{"type": "test_stater"}`
+	}
+	apps += `]}`
+	w := workload.New(s, config.MustParse(apps), net)
+	return w, staters
+}
+
+func saveWorkload(w *workload.Workload) []byte {
+	e := snapshot.NewEncoder()
+	w.SaveState(e)
+	return e.Bytes()
+}
+
+func TestWorkloadStateRoundTrip(t *testing.T) {
+	w, apps := buildStaterWorkload(t, 2)
+	// Advance the state machine mid-handshake: one app generating-ready
+	// signal outstanding, message IDs drawn, pool counters bumped.
+	w.Ready(0)
+	w.Ready(1)
+	w.Complete(0)
+	_ = w.NextMessageID()
+	m := w.NewMessage(0, 0, 1, 2, 2)
+	w.Pool().Release(m)
+	apps[0].counter = 11
+	apps[1].counter = 22
+	data := saveWorkload(w)
+
+	got, gapps := buildStaterWorkload(t, 2)
+	d := snapshot.NewDecoder(data)
+	if err := got.LoadState(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after load", d.Remaining())
+	}
+	if got.Phase() != workload.Generating {
+		t.Fatalf("restored phase %v, want generating", got.Phase())
+	}
+	if gapps[0].counter != 11 || gapps[1].counter != 22 {
+		t.Fatalf("restored app counters %d, %d", gapps[0].counter, gapps[1].counter)
+	}
+	if got.Pool().Stats() != w.Pool().Stats() {
+		t.Fatalf("pool stats %+v, want %+v", got.Pool().Stats(), w.Pool().Stats())
+	}
+	if !bytes.Equal(saveWorkload(got), data) {
+		t.Fatal("re-saved workload state is not byte-identical")
+	}
+	// The restored handshake must accept exactly the outstanding signal.
+	got.Complete(1)
+	if got.Phase() != workload.Finishing {
+		t.Fatalf("phase %v after final Complete", got.Phase())
+	}
+}
+
+func TestWorkloadSaveRequiresStaterApps(t *testing.T) {
+	w, _ := buildWorkload(t, 1) // test_fake does not implement AppStater
+	mustPanic(t, func() { saveWorkload(w) })
+}
+
+func TestWorkloadLoadRejectsMismatchedBuild(t *testing.T) {
+	w, _ := buildStaterWorkload(t, 2)
+	data := saveWorkload(w)
+
+	// Fewer applications than the snapshot.
+	got, _ := buildStaterWorkload(t, 1)
+	if err := got.LoadState(snapshot.NewDecoder(data)); err == nil ||
+		!strings.Contains(err.Error(), "applications") {
+		t.Fatalf("app count: err = %v", err)
+	}
+
+	// Same shape but non-checkpointable applications.
+	fw, _ := buildWorkload(t, 2)
+	if err := fw.LoadState(snapshot.NewDecoder(data)); err == nil ||
+		!strings.Contains(err.Error(), "not checkpointable") {
+		t.Fatalf("non-stater: err = %v", err)
+	}
+}
+
+func TestWorkloadLoadRejectsBadPhase(t *testing.T) {
+	w, _ := buildStaterWorkload(t, 1)
+	e := snapshot.NewEncoder()
+	w.SaveOrder(e)
+	e.Int(99)
+	if err := w.LoadState(snapshot.NewDecoder(e.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "phase 99") {
+		t.Fatalf("err = %v, want phase error", err)
+	}
+}
+
+func TestWorkloadLoadRejectsTruncation(t *testing.T) {
+	w, _ := buildStaterWorkload(t, 2)
+	data := saveWorkload(w)
+	for _, n := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		got, _ := buildStaterWorkload(t, 2)
+		if err := got.LoadState(snapshot.NewDecoder(data[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", n)
+		}
+	}
+}
