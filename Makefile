@@ -16,7 +16,8 @@
 #   make micro   - the standalone hot-structure micro-benchmarks
 #   make bench-guard - allocation-regression guard: BenchmarkFigure5 (and the
 #                  explicit workers=1 path) with telemetry disabled must stay
-#                  under the ceiling committed in bench_ceiling.txt
+#                  under the ceiling committed in bench_ceiling.txt; also
+#                  reports the traced workers=2 path informationally
 #   make bench-guard-spans - the guard plus an informational run of the
 #                  span-instrumented BenchmarkFigure5Spans (never enforced)
 #   make bench-parallel - the Figure 5 transient at -workers 1/2/4 on the

@@ -17,6 +17,7 @@ package supersim_test
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"strconv"
 	"testing"
@@ -115,6 +116,25 @@ func BenchmarkFigure5Workers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFigure5TraceParallel runs the Figure 5 transient at workers=2
+// with full-sampling flit tracing: every trace record lands in a per-shard
+// lane and the end-of-run merge reassembles the serial emission order. The
+// bench-guard reports it informationally alongside the spans path — the
+// enforced ceiling stays on the tracing-disabled benchmarks, whose hot path
+// this feature must not touch.
+func BenchmarkFigure5TraceParallel(b *testing.B) {
+	o := opts(b)
+	o.Workers = 2
+	o.TraceFile = filepath.Join(b.TempDir(), "trace.json")
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5(o)
+		if r.PulsePeak <= r.BlastMean {
+			b.Fatalf("pulse did not disturb blast: peak %.1f vs mean %.1f",
+				r.PulsePeak, r.BlastMean)
+		}
 	}
 }
 

@@ -38,6 +38,34 @@ func TestGoldenTelemetryCSV(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "golden_telemetry.csv"), got)
 }
 
+// TestGoldenEngineCSV pins engine-metric extraction: the generic -telemetry
+// mode with the prefix filter +comp=shard pulls the per-shard scheduler
+// metrics out of a parallel run's snapshot stream into CSV, one row per
+// (bin, shard, metric), leaving the simulation metrics behind.
+func TestGoldenEngineCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "engine.csv")
+	captureStdout(t, func() error {
+		return run([]string{"-telemetry", filepath.Join("testdata", "engine.jsonl"),
+			"+comp=shard", "-csv", csv})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_engine.csv"), got)
+}
+
+// TestGoldenEngineShardFiltered narrows the extraction to one shard's
+// drained-events counter — the +comp/+metric composition the OBSERVABILITY
+// doc recommends for load-balance investigations.
+func TestGoldenEngineShardFiltered(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-telemetry", filepath.Join("testdata", "engine.jsonl"),
+			"+comp=shard1", "+metric=engine_window_events"})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_engine_filtered.txt"), out)
+}
+
 func TestTelemetryBadFilter(t *testing.T) {
 	err := run([]string{"-telemetry", filepath.Join("testdata", "telemetry.jsonl"), "+bogus=1"})
 	if err == nil {

@@ -33,8 +33,11 @@
 //
 // -workers N executes the simulation on N parallel shards coordinated by the
 // conservative lookahead engine (see DESIGN.md); results are byte-identical
-// to the default serial run. The single-stream recorders -trace and -spans
-// are serial-only and rejected with -workers > 1.
+// to the default serial run — including the -trace and -spans streams, which
+// record into per-shard lanes merged back into the serial order at the end of
+// the run. Parallel runs additionally expose per-shard engine metrics
+// (engine_* in /metrics and snapshots) and a /shards JSON endpoint on
+// -telemetry-addr.
 //
 // Checkpointing: -checkpoint-every N -checkpoint-file F writes a complete
 // snapshot of simulator state to F (atomically replaced) at every N-tick
@@ -198,8 +201,7 @@ type runOpts struct {
 // validateFlags rejects combinations where a modifier flag was set on the
 // command line but the flag it modifies is absent: silently ignoring the
 // modifier would make the run look correctly configured while producing none
-// of the requested output, so fail fast instead. It also rejects -workers > 1
-// combined with the serial-only single-stream recorders.
+// of the requested output, so fail fast instead.
 func validateFlags(set map[string]bool, workers uint) error {
 	if set["trace-sample"] && !set["trace"] {
 		return fmt.Errorf("-trace-sample has no effect without -trace")
@@ -211,9 +213,6 @@ func validateFlags(set map[string]bool, workers uint) error {
 		!set["telemetry"] && !set["telemetry-file"] && !set["telemetry-addr"] &&
 		!set["trace"] && !set["spans"] {
 		return fmt.Errorf("-telemetry-bin has no effect without -telemetry, -telemetry-file, -telemetry-addr, -trace, or -spans")
-	}
-	if workers > 1 && (set["trace"] || set["spans"]) {
-		return fmt.Errorf("-workers > 1 does not support -trace or -spans (single-stream recorders are serial-only)")
 	}
 	if set["checkpoint-every"] && !set["checkpoint-file"] {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint-file")

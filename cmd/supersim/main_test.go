@@ -41,8 +41,11 @@ func TestValidateFlags(t *testing.T) {
 		{"workers serial with trace", setOf("trace", "workers"), 1, ""},
 		{"workers parallel", setOf("workers"), 4, ""},
 		{"workers parallel with telemetry", setOf("workers", "telemetry"), 4, ""},
-		{"workers parallel with trace", setOf("trace", "workers"), 2, "-workers"},
-		{"workers parallel with spans", setOf("spans", "workers"), 2, "-workers"},
+		// Shard-aware recorders: -trace and -spans are accepted at any worker
+		// count (per-shard lanes merge back into the serial byte stream).
+		{"workers parallel with trace", setOf("trace", "workers"), 2, ""},
+		{"workers parallel with spans", setOf("spans", "workers"), 2, ""},
+		{"workers parallel with trace and spans", setOf("trace", "spans", "workers"), 4, ""},
 		{"checkpoint pair", setOf("checkpoint-every", "checkpoint-file"), 1, ""},
 		{"checkpoint-every alone", setOf("checkpoint-every"), 1, "-checkpoint-file"},
 		{"checkpoint-file alone", setOf("checkpoint-file"), 1, "-checkpoint-every"},

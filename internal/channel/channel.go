@@ -223,7 +223,7 @@ func (c *Channel) ProcessEvent(ev *sim.Event) {
 		// propagation is charged to the wire, and the span moves to the next
 		// hop. This fires for injection, router-router and ejection links
 		// alike, so every hop on the path ends with exactly one wire step.
-		c.sp.Step(now, fl.f, telemetry.SpanWire)
+		c.sp.Step(c.Sim(), now, fl.f, telemetry.SpanWire)
 	}
 	c.sink.ReceiveFlit(c.sinkPort, fl.f)
 }

@@ -153,13 +153,6 @@ func Build(cfg *config.Settings) *Simulation {
 	// routers across N-1 shards coordinated by the conservative engine, with
 	// results byte-identical to the serial path (workers <= 1, the default).
 	if workers := int(cfg.UIntOr("simulation.workers", 1)); workers > 1 {
-		if cfg.StringOr("simulation.telemetry.trace_file", "") != "" ||
-			cfg.StringOr("simulation.telemetry.spans_file", "") != "" ||
-			cfg.FloatOr("simulation.telemetry.spans_sample", 0) > 0 {
-			// Tracing and span recording are single-stream observers with
-			// per-flit mutable state; they are serial-only for now.
-			panic("core: simulation.workers > 1 does not support trace/span recording — run those with workers = 1")
-		}
 		attachParallel(sm, workers)
 	}
 	return sm

@@ -24,6 +24,7 @@ package core
 import (
 	"supersim/internal/network"
 	"supersim/internal/sim"
+	"supersim/internal/telemetry"
 	"supersim/internal/types"
 )
 
@@ -109,6 +110,21 @@ func attachParallel(sm *Simulation, workers int) {
 			l.Cr.SetRemote(eng.Link(sims[do], sims[so], l.Cr.Latency(), l.Cr))
 		}
 	}
+	if sm.Telemetry != nil {
+		// Shard-aware observability: switch the tracer/span recorder into
+		// per-shard lane buffering (merged back into the serial order at seal
+		// time), and instrument every shard's scheduler with an engine probe
+		// exposed through the registry and the /shards endpoint.
+		sm.Telemetry.Partition(ns)
+		for k := 0; k < ns; k++ {
+			p := telemetry.ForEngineShard(sm.Telemetry, k)
+			eng.SetShardProbe(k, p)
+			id := k
+			sm.Telemetry.RegisterShard(k, shards[k].Routers,
+				func() sim.ShardStatus { return eng.ShardStatus(id) }, p)
+		}
+	}
+
 	sm.engine = eng
 	sm.Shards = shards
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"supersim/internal/config"
+	"supersim/internal/sim"
 	"supersim/internal/ssparse"
 	"supersim/internal/telemetry"
 	"supersim/internal/workload/apps"
@@ -148,6 +150,173 @@ func TestTelemetryObservationOnly(t *testing.T) {
 		if !metrics[m] {
 			t.Errorf("snapshot stream missing span metric %q", m)
 		}
+	}
+}
+
+// stripEngineLines removes engine_* metric lines from a Prometheus
+// exposition. The engine metrics exist only on parallel runs and several
+// (rounds, stalls, blocked_ns) are goroutine-schedule- or wall-clock-
+// dependent, so cross-worker-count comparisons exclude them; everything the
+// simulation computes must match exactly.
+func stripEngineLines(prom []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(prom, []byte("\n")) {
+		if bytes.Contains(line, []byte("engine_")) {
+			continue
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// TestShardedObserversByteIdentical is the tentpole gate for shard-aware
+// observability: on every golden topology, the Chrome trace JSON, the spans
+// JSONL stream, the sampled-transaction log, and the Prometheus exposition
+// (minus the engine_* self-metrics) of a parallel run at workers {2,4} must
+// be byte-identical to the serial run. Per-shard recording lanes tagged with
+// partition-independent event stamps, merged at seal time, are what makes
+// this hold.
+func TestShardedObserversByteIdentical(t *testing.T) {
+	type artifacts struct {
+		log, trace, spans, prom []byte
+	}
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			run := func(workers int) artifacts {
+				dir := t.TempDir()
+				tracePath := filepath.Join(dir, "trace.json")
+				spansPath := filepath.Join(dir, "spans.jsonl")
+				ov := []string{
+					"simulation.telemetry.enabled=bool=true",
+					"simulation.telemetry.trace_file=string=" + tracePath,
+					"simulation.telemetry.trace_sample=float=0.5",
+					"simulation.telemetry.spans_file=string=" + spansPath,
+					"simulation.telemetry.spans_sample=float=0.5",
+				}
+				if workers > 1 {
+					ov = append(ov, fmt.Sprintf("simulation.workers=uint=%d", workers))
+				}
+				log, _, _, sm := runForSamples(t, gc.doc, ov)
+				if workers > 1 {
+					if sm.Shards == nil {
+						t.Fatalf("workers=%d did not produce a parallel partition", workers)
+					}
+					// The engine introspection must be live on parallel runs:
+					// one shard doc per shard, every shard committed to the
+					// end, the host shard's windows counted.
+					docs := sm.Telemetry.ShardDocs()
+					if len(docs) != len(sm.Shards) {
+						t.Fatalf("ShardDocs has %d entries, want %d", len(docs), len(sm.Shards))
+					}
+					for _, d := range docs {
+						if d.Windows == 0 {
+							t.Errorf("shard %d committed no windows", d.ID)
+						}
+					}
+				} else if len(sm.Telemetry.ShardDocs()) != 0 {
+					t.Fatal("serial run has shard docs")
+				}
+				trace, err := os.ReadFile(tracePath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spans, err := os.ReadFile(spansPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pb bytes.Buffer
+				if err := sm.Telemetry.Registry().WritePrometheus(&pb); err != nil {
+					t.Fatal(err)
+				}
+				if workers > 1 && !bytes.Contains(pb.Bytes(), []byte("engine_windows")) {
+					t.Error("parallel exposition is missing engine_* metrics")
+				}
+				return artifacts{log: log, trace: trace, spans: spans, prom: stripEngineLines(pb.Bytes())}
+			}
+			serial := run(1)
+			if len(serial.trace) == 0 || len(serial.spans) == 0 {
+				t.Fatal("serial run produced empty observer streams")
+			}
+			for _, w := range []int{2, 4} {
+				par := run(w)
+				if !bytes.Equal(serial.trace, par.trace) {
+					t.Errorf("workers=%d trace differs from serial (%d vs %d bytes)", w, len(par.trace), len(serial.trace))
+				}
+				if !bytes.Equal(serial.spans, par.spans) {
+					t.Errorf("workers=%d spans differ from serial (%d vs %d bytes)", w, len(par.spans), len(serial.spans))
+				}
+				if !bytes.Equal(serial.log, par.log) {
+					t.Errorf("workers=%d sampled-transaction log differs from serial", w)
+				}
+				if !bytes.Equal(serial.prom, par.prom) {
+					t.Errorf("workers=%d Prometheus exposition (minus engine_*) differs from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineMetricsCheckpointRestore pins engine-metric snapshot safety: a
+// parallel checkpointed run's engine_* values ride the registry section, a
+// restore into the same worker count re-creates them, and an immediate
+// re-snapshot at the checkpoint tick is byte-identical — the same
+// import/export equivalence the rest of the simulator state obeys. Span
+// recording is enabled (fold-only) so the checkpoint barrier also exercises
+// lane sealing mid-run.
+func TestEngineMetricsCheckpointRestore(t *testing.T) {
+	gc := goldenCases()[0]
+	cfg := config.MustParse(gc.doc)
+	cfg.Set("simulation.workers", uint64(2))
+	cfg.Set("simulation.telemetry.enabled", true)
+	cfg.Set("simulation.telemetry.spans_sample", 1.0)
+	sm := Build(cfg)
+	if sm.Shards == nil {
+		t.Fatal("workers=2 did not produce a parallel partition")
+	}
+	type snap struct {
+		tick sim.Tick
+		data []byte
+	}
+	var snaps []snap
+	if _, err := sm.RunCheckpointed(500, func(tick sim.Tick, data []byte) error {
+		snaps = append(snaps, snap{tick, append([]byte(nil), data...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("run produced no checkpoints")
+	}
+	var pb bytes.Buffer
+	if err := sm.Telemetry.Registry().WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(pb.Bytes(), []byte(`supersim_engine_windows{component="shard1"}`)) {
+		t.Fatal("parallel run did not register per-shard engine metrics")
+	}
+
+	last := snaps[len(snaps)-1]
+	rm, tick, err := Restore(last.data, 2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if tick != last.tick {
+		t.Fatalf("restore tick = %d, want %d", tick, last.tick)
+	}
+	var rb bytes.Buffer
+	if err := rm.Telemetry.Registry().WritePrometheus(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rb.Bytes(), []byte("supersim_engine_")) {
+		t.Fatal("restored registry is missing engine_* metrics")
+	}
+	again, err := rm.Snapshot(tick)
+	if err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	if !bytes.Equal(last.data, again) {
+		t.Fatalf("re-snapshot after restore differs: %d vs %d bytes", len(again), len(last.data))
 	}
 }
 

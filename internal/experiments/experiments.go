@@ -45,6 +45,13 @@ type Options struct {
 	// enforces its allocation ceiling there), > 1 runs that many parallel
 	// shards with results identical to the serial run (`make bench-parallel`).
 	Workers uint64
+
+	// TraceFile, when non-empty, enables telemetry with full-sampling flit
+	// tracing to that path. Combined with Workers > 1 it measures the cost of
+	// per-shard lane recording plus the end-of-run stamp merge
+	// (BenchmarkFigure5TraceParallel); the output bytes are identical to a
+	// serial trace.
+	TraceFile string
 }
 
 func (o Options) seed() uint64 {
@@ -65,6 +72,11 @@ func (o Options) prep(cfg *config.Settings) *config.Settings {
 	}
 	if o.Workers > 0 {
 		cfg.Set("simulation.workers", o.Workers)
+	}
+	if o.TraceFile != "" {
+		cfg.Set("simulation.telemetry.enabled", true)
+		cfg.Set("simulation.telemetry.trace_file", o.TraceFile)
+		cfg.Set("simulation.telemetry.trace_sample", 1.0)
 	}
 	return cfg
 }

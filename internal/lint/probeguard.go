@@ -27,6 +27,8 @@ var DefaultProbeTypes = []probeType{
 	{"supersim/internal/telemetry", "WorkloadProbe"},
 	{"supersim/internal/telemetry", "Spans"},
 	{"supersim/internal/telemetry", "Tracer"},
+	{"supersim/internal/telemetry", "EngineProbe"},
+	{"supersim/internal/sim", "ShardProbe"},
 	{"supersim/internal/verify", "Verifier"},
 	{"supersim/internal/verify", "CreditLedger"},
 	{"supersim/internal/verify", "BufferLedger"},

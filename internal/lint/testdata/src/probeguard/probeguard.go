@@ -1,14 +1,19 @@
 // Package lintfixture exercises the probeguard analyzer against the verify
-// ledgers (the cheapest real probe types to type-check); it is never part of
-// the build.
+// ledgers (the cheapest real probe types to type-check) and the engine's
+// ShardProbe — an interface-typed probe, unlike the pointer-to-struct
+// telemetry probes; it is never part of the build.
 package lintfixture
 
-import "supersim/internal/verify"
+import (
+	"supersim/internal/sim"
+	"supersim/internal/verify"
+)
 
 type node struct {
 	v    *verify.Verifier
 	cl   *verify.CreditLedger
 	leds []*verify.BufferLedger
+	sp   sim.ShardProbe
 }
 
 func (n *node) unguarded() {
@@ -54,6 +59,20 @@ func (n *node) wrongGuard() {
 	if n.v != nil {
 		n.cl.Credit(0, 1) // want `nil check of n\.cl`
 	}
+}
+
+func (n *node) shardUnguarded() {
+	n.sp.BlockedEnter() // want `not dominated by a nil check of n\.sp`
+}
+
+func (n *node) shardGuarded(h uint64, events uint64) {
+	if n.sp != nil {
+		n.sp.WindowCommitted(sim.Tick(h), events)
+	}
+	if n.sp == nil {
+		return
+	}
+	n.sp.InboxDrained(1)
 }
 
 func (n *node) indexPrefix(port int) {

@@ -166,7 +166,7 @@ func (n *Interface) SendMessage(m *types.Message) {
 		n.Panicf("message %d has no packets", m.ID)
 	}
 	if n.sp != nil {
-		n.sp.Start(m)
+		n.sp.Start(n.Sim(), m)
 	}
 	//sslint:allow hotpath — amortized send-queue growth, compacted in popPacket
 	n.sendQ = append(n.sendQ, m.Packets...)
@@ -287,12 +287,12 @@ func (n *Interface) injectOne() {
 	if n.sp != nil && n.sp.Tracked(f) {
 		// Creation to injection-channel entry is source queueing: the wait
 		// behind earlier packets plus credit backpressure.
-		n.sp.Step(now, f, telemetry.SpanQueue)
+		n.sp.Step(n.Sim(), now, f, telemetry.SpanQueue)
 	}
 	n.outCh.Inject(f)
 	n.flitsSent++
 	if n.tp != nil {
-		n.tp.FlitSent(now, f)
+		n.tp.FlitSent(n.Sim(), now, f)
 	}
 	if f.Tail {
 		n.popPacket()
@@ -333,7 +333,7 @@ func (n *Interface) ReceiveFlit(port int, f *types.Flit) {
 	now := n.Sim().Now().Tick
 	n.flitsReceived++
 	if n.tp != nil {
-		n.tp.FlitReceived(now, f)
+		n.tp.FlitReceived(n.Sim(), now, f)
 	}
 	if n.v != nil {
 		n.v.FlitRetired(f)

@@ -314,12 +314,13 @@ func (b *base) verifyIdleCredits() {
 // len(pending) entries (routers size it to their input VC count once); grant
 // marks ride in the inputVC structs. The allocator itself never allocates —
 // it runs every core cycle on every router.
-// now and sp drive span recording: a grant whose head flit is tracked by the
-// span recorder closes that flit's vc_alloc segment. sp is nil when span
-// recording is disabled.
+// s, now and sp drive span recording: a grant whose head flit is tracked by
+// the span recorder closes that flit's vc_alloc segment, routed to s's shard
+// lane under a parallel engine. sp is nil when span recording is disabled
+// (then s may be nil too).
 //
 //sslint:hotpath
-func allocateVCs(now sim.Tick, sp *telemetry.Spans, pending, scratch []int, rotate int, ageOrder bool,
+func allocateVCs(s *sim.Simulator, now sim.Tick, sp *telemetry.Spans, pending, scratch []int, rotate int, ageOrder bool,
 	in []inputVC, holder [][]int, sched []*xbarSched) ([]int, bool) {
 	n := len(pending)
 	if n == 0 {
@@ -359,7 +360,7 @@ func allocateVCs(now sim.Tick, sp *telemetry.Spans, pending, scratch []int, rota
 					if f := iv.q.peek(); sp.Tracked(f) {
 						// Arrival to VC grant: route computation plus the
 						// wait for a free output VC.
-						sp.Step(now, f, telemetry.SpanVCAlloc)
+						sp.Step(s, now, f, telemetry.SpanVCAlloc)
 					}
 				}
 				break

@@ -197,7 +197,7 @@ func (r *IOQ) drainFlights() {
 		fl := r.dl.pop()
 		if r.sp != nil && r.sp.Tracked(fl.f) {
 			// Crossbar traversal ends at output-queue entry.
-			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+			r.sp.Step(r.Sim(), now, fl.f, telemetry.SpanXbar)
 		}
 		r.outQ[r.client(fl.port, fl.f.VC)].push(fl.f)
 		r.scheduleOutput(fl.port)
@@ -228,7 +228,7 @@ func (r *IOQ) pipeline() {
 	// Stage 1: VC allocation (identical policy to the IQ architecture).
 	var vcProgress bool
 	vcBefore := len(r.vcPending)
-	r.vcPending, vcProgress = allocateVCs(now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(r.Sim(), now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
@@ -279,7 +279,7 @@ func (r *IOQ) sendFlit(now sim.Tick, port, client int) {
 	if r.sp != nil && r.sp.Tracked(f) {
 		// VC grant to switch grant: crossbar arbitration plus the wait for
 		// output-queue space.
-		r.sp.Step(now, f, telemetry.SpanSWAlloc)
+		r.sp.Step(r.Sim(), now, f, telemetry.SpanSWAlloc)
 	}
 	inPort, inVC := r.clientPort(client), r.clientVC(client)
 	f.VC = iv.outVC
@@ -319,7 +319,7 @@ func (r *IOQ) drain(port int) {
 		f := r.outQ[qi].pop()
 		if r.sp != nil && r.sp.Tracked(f) {
 			// Output-queue residency: the wait for downstream credits.
-			r.sp.Step(now, f, telemetry.SpanOutput)
+			r.sp.Step(r.Sim(), now, f, telemetry.SpanOutput)
 		}
 		r.takeDownstreamCredit(port, vc)
 		r.outOcc[qi]--

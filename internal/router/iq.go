@@ -184,7 +184,7 @@ func (r *IQ) drainFlights() {
 		fl := r.dl.pop()
 		if r.sp != nil && r.sp.Tracked(fl.f) {
 			// Crossbar traversal ends at channel entry.
-			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+			r.sp.Step(r.Sim(), now, fl.f, telemetry.SpanXbar)
 		}
 		r.outCh[fl.port].Inject(fl.f)
 	}
@@ -214,7 +214,7 @@ func (r *IQ) pipeline() {
 	// Stage 1: VC allocation (the VC scheduler).
 	var vcProgress bool
 	vcBefore := len(r.vcPending)
-	r.vcPending, vcProgress = allocateVCs(now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
+	r.vcPending, vcProgress = allocateVCs(r.Sim(), now, r.sp, r.vcPending, r.vcOrder, r.vcRotate, r.vcAgeOrder, r.in, r.holder, r.sched)
 	r.noteAlloc(vcBefore, len(r.vcPending))
 	r.vcRotate++
 	progress = progress || vcProgress
@@ -272,7 +272,7 @@ func (r *IQ) sendFlit(now sim.Tick, port, client int) {
 	f := iv.q.pop()
 	if r.sp != nil && r.sp.Tracked(f) {
 		// VC grant to switch grant: crossbar arbitration plus credit waits.
-		r.sp.Step(now, f, telemetry.SpanSWAlloc)
+		r.sp.Step(r.Sim(), now, f, telemetry.SpanSWAlloc)
 	}
 	inPort, inVC := r.clientPort(client), r.clientVC(client)
 	f.VC = iv.outVC

@@ -193,7 +193,7 @@ func (r *OQ) pipeline() {
 			// Arrival to transfer start: routing (synchronous here), output
 			// VC acquisition, and the wait for output-queue space — the OQ
 			// analogue of VC allocation.
-			r.sp.Step(now, f, telemetry.SpanVCAlloc)
+			r.sp.Step(r.Sim(), now, f, telemetry.SpanVCAlloc)
 		}
 		f.VC = iv.outVC
 		if f.Head {
@@ -243,7 +243,7 @@ func (r *OQ) drainFlights() {
 		fl := r.dl.pop()
 		if r.sp != nil && r.sp.Tracked(fl.f) {
 			// Queue-to-queue transfer ends at output-queue entry.
-			r.sp.Step(now, fl.f, telemetry.SpanXbar)
+			r.sp.Step(r.Sim(), now, fl.f, telemetry.SpanXbar)
 		}
 		r.outQ[r.client(fl.port, fl.f.VC)].push(fl.f)
 		r.scheduleOutput(fl.port)
@@ -268,7 +268,7 @@ func (r *OQ) drain(port int) {
 		f := r.outQ[qi].pop()
 		if r.sp != nil && r.sp.Tracked(f) {
 			// Output-queue residency: the wait for downstream credits.
-			r.sp.Step(now, f, telemetry.SpanOutput)
+			r.sp.Step(r.Sim(), now, f, telemetry.SpanOutput)
 		}
 		r.takeDownstreamCredit(port, vc)
 		r.outOcc[qi]--

@@ -305,7 +305,7 @@ func TestAllocateVCsGrantsFreeVCs(t *testing.T) {
 		in[c].resp.Port = 0
 		in[c].resp.VCs = []int{0, 1}
 	}
-	kept, progress := allocateVCs(0, nil, []int{0, 1}, make([]int, 2), 0, false, in, holder, sched)
+	kept, progress := allocateVCs(nil, 0, nil, []int{0, 1}, make([]int, 2), 0, false, in, holder, sched)
 	if !progress || len(kept) != 0 {
 		t.Fatalf("kept=%v progress=%v", kept, progress)
 	}
@@ -326,7 +326,7 @@ func TestAllocateVCsBlocksWhenFull(t *testing.T) {
 	in[0].resp.Port = 0
 	in[0].resp.VCs = []int{0}
 	in[0].outVC = -1
-	kept, progress := allocateVCs(0, nil, []int{0}, make([]int, 1), 0, false, in, holder, sched)
+	kept, progress := allocateVCs(nil, 0, nil, []int{0}, make([]int, 1), 0, false, in, holder, sched)
 	if progress || len(kept) != 1 {
 		t.Fatalf("kept=%v progress=%v, want blocked", kept, progress)
 	}
@@ -346,7 +346,7 @@ func TestAllocateVCsAgeOrder(t *testing.T) {
 		in[c].resp.VCs = []int{0}
 		in[c].outVC = -1
 	}
-	kept, _ := allocateVCs(0, nil, []int{0, 1}, make([]int, 2), 0, true, in, holder, sched)
+	kept, _ := allocateVCs(nil, 0, nil, []int{0, 1}, make([]int, 2), 0, true, in, holder, sched)
 	if holder[0][0] != 1 {
 		t.Fatalf("holder = %d, want older client 1", holder[0][0])
 	}

@@ -43,6 +43,39 @@ type RemoteReceiver interface {
 	ReceiveRemote(at Tick, ptr any, aux int)
 }
 
+// ShardProbe observes one shard's conservative scheduler: horizon rounds,
+// committed lookahead windows, cross-shard inbox traffic, lookahead stalls,
+// and quiescence checks. Probes are attached before Run via SetShardProbe and
+// are nil when engine introspection is disabled, so every call site is
+// nil-guarded and the disabled path costs one branch.
+//
+// All methods except InboxPost are invoked on the owning shard's worker
+// goroutine. InboxPost is invoked on the *posting* (source) shard's goroutine,
+// so implementations must make it safe for concurrent use with the other
+// methods (atomics suffice).
+type ShardProbe interface {
+	// Round is called once per scheduler pass with the computed horizon
+	// (already clipped to the phase cap). saturated reports an unbounded
+	// horizon: no upstream edge constrains this shard.
+	Round(horizon Tick, saturated bool)
+	// WindowCommitted is called after a lookahead window executes, with the
+	// newly committed tick and the number of non-daemon events the window
+	// drained.
+	WindowCommitted(commit Tick, events uint64)
+	// InboxPost is called after a cross-shard post lands in this shard's
+	// inbox, with the inbox occupancy including the new post. Source-shard
+	// goroutine; must be concurrency-safe.
+	InboxPost(depth int)
+	// InboxDrained is called after the shard applies a non-empty inbox batch.
+	InboxDrained(batch int)
+	// BlockedEnter/BlockedExit bracket the worker parking on its wake channel
+	// because neither the inbox nor the horizon allowed progress.
+	BlockedEnter()
+	BlockedExit()
+	// QuiesceCheck is called at each global work-count poll with the result.
+	QuiesceCheck(quiesced bool)
+}
+
 // remotePost is one timestamped cross-shard message.
 type remotePost struct {
 	at  Tick
@@ -86,6 +119,10 @@ type shardState struct {
 	// pendingPub is the shard's queued non-daemon event count as of its last
 	// committed window, for cross-shard PendingNonDaemon aggregation.
 	pendingPub atomic.Int64
+
+	// probe observes this shard's scheduler; nil when engine introspection is
+	// disabled. Set before Run and read-only afterwards.
+	probe ShardProbe
 }
 
 // RemotePort is the source-side handle of a cross-shard link, created by
@@ -112,7 +149,11 @@ func (p *RemotePort) Send(at Tick, ptr any, aux int) {
 	d.mu.Lock()
 	//sslint:allow hotpath — inbox buffer reuse via double-buffering bounds growth to the per-window burst
 	d.inbox = append(d.inbox, remotePost{at: at, tgt: p.tgt, ptr: ptr, aux: aux})
+	depth := len(d.inbox)
 	d.mu.Unlock()
+	if d.probe != nil {
+		d.probe.InboxPost(depth)
+	}
 	d.notify()
 }
 
@@ -162,6 +203,9 @@ func (sh *shardState) drain() bool {
 		batch[i] = remotePost{}
 	}
 	sh.eng.work.Add(-int64(len(batch)))
+	if sh.probe != nil {
+		sh.probe.InboxDrained(len(batch))
+	}
 	sh.spare = batch
 	return true
 }
@@ -204,6 +248,35 @@ func NewEngine(host *Simulator) *Engine {
 
 // Host returns shard 0's simulator.
 func (e *Engine) Host() *Simulator { return e.host }
+
+// SetShardProbe attaches an observer to shard i's scheduler. It must be
+// called before Run; the probe is read without synchronization by the worker
+// goroutines afterwards.
+func (e *Engine) SetShardProbe(i int, p ShardProbe) { e.shards[i].probe = p }
+
+// ShardStatus is a point-in-time snapshot of one shard's engine state, for
+// introspection endpoints. Commit and Pending are the shard's published
+// values as of its last committed window; InboxDepth is the current undrained
+// cross-shard post count.
+type ShardStatus struct {
+	Commit     Tick
+	Pending    int64
+	InboxDepth int
+}
+
+// ShardStatus returns shard i's current engine state. Safe to call from any
+// goroutine while the engine runs.
+func (e *Engine) ShardStatus(i int) ShardStatus {
+	sh := e.shards[i]
+	sh.mu.Lock()
+	depth := len(sh.inbox)
+	sh.mu.Unlock()
+	return ShardStatus{
+		Commit:     Tick(sh.commit.Load()),
+		Pending:    sh.pendingPub.Load(),
+		InboxDepth: depth,
+	}
+}
 
 // NumShards returns the number of shards, including the host.
 func (e *Engine) NumShards() int { return len(e.shards) }
@@ -397,13 +470,19 @@ func (e *Engine) runShard(sh *shardState, cap Tick) {
 		if h > cap {
 			h = cap
 		}
+		if sh.probe != nil {
+			sh.probe.Round(h, h == ^Tick(0))
+		}
 		progressed := sh.drain()
 		if committed := Tick(sh.commit.Load()); h > committed {
-			sh.sim.runUntil(h, h == ^Tick(0))
+			n := sh.sim.runUntil(h, h == ^Tick(0))
 			sh.pendingPub.Store(int64(sh.sim.queue.len() - sh.sim.daemons))
 			sh.commit.Store(uint64(h))
 			for _, d := range sh.out {
 				d.notify()
+			}
+			if sh.probe != nil {
+				sh.probe.WindowCommitted(h, n)
 			}
 			progressed = true
 		}
@@ -413,7 +492,11 @@ func (e *Engine) runShard(sh *shardState, cap Tick) {
 			e.wakeAll()
 			return
 		}
-		if e.work.Load() == 0 {
+		quiesced := e.work.Load() == 0
+		if sh.probe != nil {
+			sh.probe.QuiesceCheck(quiesced)
+		}
+		if quiesced {
 			e.finish.Store(true)
 			e.wakeAll()
 			return
@@ -428,7 +511,13 @@ func (e *Engine) runShard(sh *shardState, cap Tick) {
 			return
 		}
 		if !progressed {
+			if sh.probe != nil {
+				sh.probe.BlockedEnter()
+			}
 			<-sh.wake
+			if sh.probe != nil {
+				sh.probe.BlockedExit()
+			}
 		}
 	}
 }

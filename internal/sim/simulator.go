@@ -50,6 +50,13 @@ type Simulator struct {
 	// Engine; it carries the cross-shard inbox and horizon state.
 	shard *shardState
 
+	// curOwner/curOseq are the ordering key of the event currently executing
+	// in runUntil. Together with now they form the CurrentStamp — the event's
+	// position in the partition-independent total order, which shard-local
+	// observers use to tag recordings for a deterministic global merge.
+	curOwner uint32
+	curOseq  uint64
+
 	// Monitor, if non-nil, is invoked every MonitorInterval executed
 	// (non-daemon) events.
 	Monitor         func(now Time, executed uint64)
@@ -142,6 +149,48 @@ func (s *Simulator) SetTelemetry(t any) { s.telemetry = t }
 
 // Telemetry returns the attached telemetry object, or nil.
 func (s *Simulator) Telemetry() any { return s.telemetry }
+
+// Stamp is the position of an executing event in the partition-independent
+// total order: the event's time plus its (owner, oseq) tiebreak — the same key
+// the event heap sorts by (see entryLess). Stamps taken on different shards
+// are mutually comparable, and equal stamps cannot occur for distinct events,
+// so observation records tagged with stamps can be merged across shards into
+// exactly the serial emission order.
+type Stamp struct {
+	T     Time
+	Owner uint32
+	Oseq  uint64
+}
+
+// Less orders stamps by (tick, epsilon, owner, oseq).
+func (a Stamp) Less(b Stamp) bool {
+	if a.T.Tick != b.T.Tick {
+		return a.T.Tick < b.T.Tick
+	}
+	if a.T.Eps != b.T.Eps {
+		return a.T.Eps < b.T.Eps
+	}
+	if a.Owner != b.Owner {
+		return a.Owner < b.Owner
+	}
+	return a.Oseq < b.Oseq
+}
+
+// CurrentStamp returns the stamp of the event currently executing on this
+// simulator. It is only meaningful inside a ProcessEvent call.
+func (s *Simulator) CurrentStamp() Stamp {
+	return Stamp{T: s.now, Owner: s.curOwner, Oseq: s.curOseq}
+}
+
+// ShardID returns the index of the engine shard this simulator runs on, or 0
+// when the simulator is serial (shard 0 is the host, so serial and host
+// observations share lane 0).
+func (s *Simulator) ShardID() int {
+	if s.shard == nil {
+		return 0
+	}
+	return s.shard.id
+}
 
 // Executed returns the number of non-daemon events executed so far. Daemon
 // events (ScheduleDaemon) are pure observers; excluding them keeps the count
@@ -309,6 +358,7 @@ func (s *Simulator) runUntil(tick Tick, all bool) uint64 {
 			e.daemon = false
 		}
 		s.now = e.Time
+		s.curOwner, s.curOseq = e.owner, e.oseq
 		h := e.Handler
 		if !daemon {
 			s.executed++

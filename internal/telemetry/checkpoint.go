@@ -130,6 +130,11 @@ func (r *Registry) LoadState(d *snapshot.Decoder) error {
 // flag for the next snapshot bin, the workload phase, the registry, and the
 // span recorder's in-flight state.
 func (t *Telemetry) SaveState(e *snapshot.Encoder) {
+	// Under a parallel engine, flush the per-shard observation lanes first:
+	// the checkpoint barrier guarantees every recorded stamp is below the
+	// snapshot time, so sealing here emits exactly the serial prefix and the
+	// serialized registry/span state matches a serial run's.
+	t.seal()
 	t.SaveOrder(e)
 	e.Bool(t.first)
 	t.mu.Lock()

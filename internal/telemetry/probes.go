@@ -121,20 +121,22 @@ func ForIface(s *sim.Simulator, name string, terminal int) *IfaceProbe {
 }
 
 // FlitSent records a flit entering the network and, when tracing is enabled
-// and the owning message is sampled, emits the trace begin event.
-func (p *IfaceProbe) FlitSent(now sim.Tick, f *types.Flit) {
+// and the owning message is sampled, emits the trace begin event. s is the
+// calling component's simulator (an adopted component's shard, not the
+// construction-time host), which routes the record to the right trace lane.
+func (p *IfaceProbe) FlitSent(s *sim.Simulator, now sim.Tick, f *types.Flit) {
 	p.sent.Inc()
 	if p.tr != nil && p.tr.Sampled(f.Pkt.Msg.ID) {
-		p.tr.FlitSent(now, f, p.terminal)
+		p.tr.FlitSent(s, now, f, p.terminal)
 	}
 }
 
 // FlitReceived records a flit delivered at this terminal and emits the trace
 // end event for sampled messages.
-func (p *IfaceProbe) FlitReceived(now sim.Tick, f *types.Flit) {
+func (p *IfaceProbe) FlitReceived(s *sim.Simulator, now sim.Tick, f *types.Flit) {
 	p.received.Inc()
 	if p.tr != nil && p.tr.Sampled(f.Pkt.Msg.ID) {
-		p.tr.FlitReceived(now, f, f.Pkt.Msg.Src)
+		p.tr.FlitReceived(s, now, f, f.Pkt.Msg.Src)
 	}
 }
 

@@ -19,25 +19,25 @@ func spanMsg(id uint64) *types.Message {
 // then one router) with fixed per-stage delays and returns the delivery time.
 func driveSpan(sp *Spans, m *types.Message) sim.Tick {
 	f := m.Packets[0].Flits[0]
-	sp.Start(m)
+	sp.Start(nil, m)
 	t := m.CreateTime
 	t += 3
-	sp.Step(t, f, SpanQueue) // 3 ticks of source queueing
+	sp.Step(nil, t, f, SpanQueue) // 3 ticks of source queueing
 	t += 4
-	sp.Step(t, f, SpanWire) // injection link: hop 0 -> hop 1
+	sp.Step(nil, t, f, SpanWire) // injection link: hop 0 -> hop 1
 	t += 5
-	sp.Step(t, f, SpanVCAlloc)
+	sp.Step(nil, t, f, SpanVCAlloc)
 	t += 2
-	sp.Step(t, f, SpanSWAlloc)
+	sp.Step(nil, t, f, SpanSWAlloc)
 	t += 1
-	sp.Step(t, f, SpanXbar)
+	sp.Step(nil, t, f, SpanXbar)
 	t += 2
-	sp.Step(t, f, SpanOutput)
+	sp.Step(nil, t, f, SpanOutput)
 	t += 4
-	sp.Step(t, f, SpanWire) // ejection link: hop 1 -> destination
+	sp.Step(nil, t, f, SpanWire) // ejection link: hop 1 -> destination
 	t += 6                  // reassembly tail
 	m.ReceiveTime = t
-	sp.Finish(m)
+	sp.Finish(nil, m)
 	return t
 }
 
@@ -201,11 +201,11 @@ func TestSpanStateReuseAcrossMessages(t *testing.T) {
 func TestUnsampledMessagesIgnored(t *testing.T) {
 	sp := NewSpans(nil, 0)
 	m := spanMsg(1)
-	sp.Start(m)
+	sp.Start(nil, m)
 	if len(sp.live) != 0 {
 		t.Fatal("unsampled Start left live state")
 	}
-	sp.Finish(m) // no span started: must be a silent no-op
+	sp.Finish(nil, m) // no span started: must be a silent no-op
 	if sp.Records() != 0 {
 		t.Fatal("unsampled Finish recorded a span")
 	}
@@ -215,28 +215,28 @@ func TestSpanStepPanics(t *testing.T) {
 	mustPanicContains(t, "without a started span", func() {
 		sp := NewSpans(nil, 1.0)
 		m := spanMsg(1)
-		sp.Step(5, m.Packets[0].Flits[0], SpanQueue)
+		sp.Step(nil, 5, m.Packets[0].Flits[0], SpanQueue)
 	})
 	mustPanicContains(t, "goes backwards", func() {
 		sp := NewSpans(nil, 1.0)
 		m := spanMsg(1)
 		m.CreateTime = 100
-		sp.Start(m)
-		sp.Step(50, m.Packets[0].Flits[0], SpanQueue)
+		sp.Start(nil, m)
+		sp.Step(nil, 50, m.Packets[0].Flits[0], SpanQueue)
 	})
 	mustPanicContains(t, "invalid kind", func() {
 		sp := NewSpans(nil, 1.0)
 		m := spanMsg(1)
-		sp.Start(m)
-		sp.Step(5, m.Packets[0].Flits[0], SpanEject) // eject is charged by Finish, not Step
+		sp.Start(nil, m)
+		sp.Step(nil, 5, m.Packets[0].Flits[0], SpanEject) // eject is charged by Finish, not Step
 	})
 	mustPanicContains(t, "goes backwards", func() {
 		sp := NewSpans(nil, 1.0)
 		m := spanMsg(1)
-		sp.Start(m)
-		sp.Step(10, m.Packets[0].Flits[0], SpanQueue)
+		sp.Start(nil, m)
+		sp.Step(nil, 10, m.Packets[0].Flits[0], SpanQueue)
 		m.ReceiveTime = 5
-		sp.Finish(m)
+		sp.Finish(nil, m)
 	})
 }
 

@@ -86,6 +86,7 @@ type Telemetry struct {
 	lastTick  uint64
 	lastEvs   uint64
 	prog      Progress
+	shardRegs []shardReg
 }
 
 // Attach creates a Telemetry and registers it on the simulator so that
@@ -146,6 +147,33 @@ func SpansFor(s *sim.Simulator) *Spans {
 		return nil
 	}
 	return t.opts.Spans
+}
+
+// Partition switches the tracer and span recorder into per-shard lane
+// buffering across n shards. Core calls it once, before a parallel engine
+// runs; recordings are tagged with partition-independent event stamps and
+// merged back into the serial order by seal. Serial runs never call it and
+// keep the direct streaming/apply paths.
+func (t *Telemetry) Partition(n int) {
+	if tr := t.opts.Tracer; tr != nil {
+		tr.partition(n)
+	}
+	if sp := t.opts.Spans; sp != nil {
+		sp.partition(n)
+	}
+}
+
+// seal merges and drains the per-shard observation lanes in global stamp
+// order. It must only run while no shard goroutines are executing — at the
+// end of the run (Close) or at a checkpoint barrier (SaveState); the engine's
+// RunUntil WaitGroup is the happens-before edge publishing the lanes.
+func (t *Telemetry) seal() {
+	if tr := t.opts.Tracer; tr != nil {
+		tr.seal()
+	}
+	if sp := t.opts.Spans; sp != nil {
+		sp.seal()
+	}
 }
 
 // SetPhase records the workload phase shown in the progress document.
@@ -222,6 +250,9 @@ func (t *Telemetry) Close() error {
 	}
 	t.closed = true
 	t.SetPhase("done")
+	// Seal before the final snapshot bin so span histograms folded from the
+	// buffered lanes reach it (the serial path folds online).
+	t.seal()
 	t.snapshotNow()
 	var err error
 	if t.bw != nil {

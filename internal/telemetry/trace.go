@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"supersim/internal/sim"
 	"supersim/internal/types"
@@ -23,13 +24,38 @@ import (
 // resizing the trace cannot perturb simulation results, and all flits of a
 // message are either all traced or all skipped (the viewer sees complete
 // message lifetimes).
+//
+// Under a parallel engine (Partition), each shard records into its own lane:
+// recording is an append of captured values (message/packet/flit IDs, not
+// pointers — flits are pooled and recycled) tagged with the executing event's
+// sim.Stamp. Lanes are merged in stamp order at seal time, which reproduces
+// the serial emission order exactly (see mergeByStamp), so the rendered JSON
+// is byte-identical to a serial run for any worker count.
 type Tracer struct {
 	mu        sync.Mutex
 	w         *bufio.Writer
 	c         io.Closer
 	threshold uint64 // sample iff top 16 hash bits < threshold
-	events    uint64
+	events    atomic.Uint64
 	started   bool
+
+	// lanes, when non-nil, switches the tracer from direct streaming to
+	// per-shard buffered recording; lane k is written only by shard k's
+	// goroutine and drained by seal between phases.
+	lanes [][]traceEntry
+}
+
+// traceEntry is one buffered trace event: every field the renderer needs,
+// captured by value at record time.
+type traceEntry struct {
+	stamp sim.Stamp
+	ts    sim.Tick
+	msg   uint64
+	pkt   int
+	flit  int
+	app   int
+	tid   int
+	ph    byte // 'b' or 'e'
 }
 
 // NewTracer writes Chrome trace JSON to w, sampling the given fraction of
@@ -60,15 +86,41 @@ func (t *Tracer) Sampled(msgID uint64) bool {
 	return h>>48 < t.threshold
 }
 
-// Events returns the number of trace events emitted so far.
-func (t *Tracer) Events() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.events
+// Events returns the number of trace events recorded so far.
+func (t *Tracer) Events() uint64 { return t.events.Load() }
+
+// partition switches the tracer into per-shard lane recording across n
+// shards. Called once, before the engine runs.
+func (t *Tracer) partition(n int) {
+	t.lanes = make([][]traceEntry, n)
 }
 
-func (t *Tracer) emit(ph string, now sim.Tick, f *types.Flit, tid int) {
+// record captures one trace event. On a partitioned tracer the event is
+// appended to the calling shard's lane with the executing event's stamp; on a
+// serial tracer it streams straight to the writer.
+func (t *Tracer) record(ph byte, s *sim.Simulator, now sim.Tick, f *types.Flit, tid int) {
 	m := f.Pkt.Msg
+	if t.lanes != nil {
+		k := s.ShardID()
+		t.lanes[k] = append(t.lanes[k], traceEntry{
+			stamp: s.CurrentStamp(),
+			ts:    now,
+			msg:   m.ID,
+			pkt:   f.Pkt.ID,
+			flit:  f.ID,
+			app:   m.App,
+			tid:   tid,
+			ph:    ph,
+		})
+		t.events.Add(1)
+		return
+	}
+	t.emit(ph, now, m.ID, f.Pkt.ID, f.ID, m.App, tid)
+	t.events.Add(1)
+}
+
+// emit renders one event to the JSON stream.
+func (t *Tracer) emit(ph byte, ts sim.Tick, msg uint64, pkt, flit, app, tid int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.started {
@@ -79,24 +131,42 @@ func (t *Tracer) emit(ph string, now sim.Tick, f *types.Flit, tid int) {
 	}
 	fmt.Fprintf(t.w,
 		`{"ph":%q,"cat":"flit","name":"flit","id":"%d.%d.%d","pid":%d,"tid":%d,"ts":%d}`,
-		ph, m.ID, f.Pkt.ID, f.ID, m.App, tid, now)
-	t.events++
+		string(ph), msg, pkt, flit, app, tid, ts)
+}
+
+// seal drains the per-shard lanes into the JSON stream in global stamp order
+// and resets them. It must only be called while no shard goroutines run (end
+// of run, or a checkpoint barrier); sealing twice is harmless. Because the
+// engine's checkpoint barriers partition stamps by time, sequential seals
+// concatenate in correct global order.
+func (t *Tracer) seal() {
+	if t.lanes == nil {
+		return
+	}
+	mergeByStamp(t.lanes, func(e *traceEntry) sim.Stamp { return e.stamp }, func(e *traceEntry) {
+		t.emit(e.ph, e.ts, e.msg, e.pkt, e.flit, e.app, e.tid)
+	})
+	for k := range t.lanes {
+		t.lanes[k] = t.lanes[k][:0]
+	}
 }
 
 // FlitSent records a sampled flit entering the network at source terminal
-// src. Callers check Sampled first.
-func (t *Tracer) FlitSent(now sim.Tick, f *types.Flit, src int) {
-	t.emit("b", now, f, src)
+// src. Callers check Sampled first; s is the calling component's simulator,
+// which supplies the shard lane and merge stamp under a parallel engine.
+func (t *Tracer) FlitSent(s *sim.Simulator, now sim.Tick, f *types.Flit, src int) {
+	t.record('b', s, now, f, src)
 }
 
 // FlitReceived records a sampled flit delivered at its destination. The tid
 // repeats the source terminal so begin/end pair on the same track.
-func (t *Tracer) FlitReceived(now sim.Tick, f *types.Flit, src int) {
-	t.emit("e", now, f, src)
+func (t *Tracer) FlitReceived(s *sim.Simulator, now sim.Tick, f *types.Flit, src int) {
+	t.record('e', s, now, f, src)
 }
 
 // Close terminates the JSON document, flushes, and closes the underlying
-// writer when it is closable. Safe to call with no events emitted.
+// writer when it is closable. Safe to call with no events emitted. Callers
+// running under an engine seal first (Telemetry.Close does).
 func (t *Tracer) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -53,8 +53,8 @@ func TestTracerOutput(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer(&buf, 1)
 	f := testFlit(7, 1, 0, 2)
-	tr.FlitSent(10, f, 3)
-	tr.FlitReceived(25, f, 3)
+	tr.FlitSent(nil, 10, f, 3)
+	tr.FlitReceived(nil, 25, f, 3)
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}

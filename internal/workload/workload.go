@@ -265,7 +265,7 @@ func (d *demux) DeliverMessage(m *types.Message) {
 	}
 	if sp := d.w.sp; sp != nil {
 		// Close the span before the message's blocks return to the pool.
-		sp.Finish(m)
+		sp.Finish(d.w.Sim(), m)
 	}
 	d.w.apps[m.App].DeliverMessage(m)
 	d.w.pool.Release(m)

@@ -62,6 +62,14 @@ if [ "$w1_allocs" -gt "$ceiling" ]; then
 fi
 echo "bench-guard: OK — workers=1 path $w1_allocs allocs/op <= ceiling $ceiling"
 
+# Sharded tracing cost, informational only: full-sampling flit tracing at
+# workers=2 exercises per-shard lane recording plus the end-of-run stamp
+# merge. The ceiling is never enforced against instrumented paths — it guards
+# the tracing-DISABLED hot path above.
+"$go" test -run='^$' -bench='BenchmarkFigure5TraceParallel$' -benchtime=1x -benchmem . | tee "$out"
+trace_allocs=$(awk '/^BenchmarkFigure5TraceParallel/ { for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")
+echo "bench-guard: traced workers=2 path allocated ${trace_allocs:-?} allocs/op (informational, not enforced)"
+
 if [ "$with_spans" = "spans" ]; then
     "$go" test -run='^$' -bench='BenchmarkFigure5Spans$' -benchtime=1x -benchmem . | tee "$out"
     spans_allocs=$(awk '/^BenchmarkFigure5Spans/ { for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }' "$out")
