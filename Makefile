@@ -14,6 +14,12 @@
 #   make fuzz    - short live fuzzing session on the config parsers
 #   make bench   - the paper's table/figure benchmark suite with -benchmem
 #   make micro   - the standalone hot-structure micro-benchmarks
+#   make sweep-smoke - fleet-observability smoke: a tiny two-point sweep with
+#                  journal, manifests and the live dashboard enabled, every
+#                  downstream consumer (ssparse -tasks, ssplot taskgantt, the
+#                  /sweep and /metrics endpoints) driven over its artifacts,
+#                  then the bench-guard re-run to prove the instrumentation
+#                  kept the disabled hot path under the committed ceiling
 #   make bench-guard - allocation-regression guard: BenchmarkFigure5 (and the
 #                  explicit workers=1 path) with telemetry disabled must stay
 #                  under the ceiling committed in bench_ceiling.txt; also
@@ -26,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz ci test-import-export bench micro bench-guard bench-guard-spans bench-parallel
+.PHONY: all build vet lint test race cover fuzz ci test-import-export bench micro bench-guard bench-guard-spans bench-parallel sweep-smoke
 
 all: ci
 
@@ -71,7 +77,15 @@ test-import-export:
 	$(GO) test -race -count=1 -run='TestCheckpointedRunMatchesGolden|TestSimulationAfterImport|TestRestoreAcrossWorkerCounts|TestSnapshotRoundTrip|TestRandomizedCheckpointRestore' ./internal/core
 	$(GO) test -count=1 ./internal/snapshot
 
-ci: build vet lint test race test-import-export bench-guard
+ci: build vet lint test race test-import-export bench-guard sweep-smoke
+
+# Fleet-observability smoke: the sweep→journal→manifest→parse→plot→dashboard
+# pipeline end-to-end, then the allocation guard against the unchanged
+# ceiling — observability must stay free when disabled. See
+# scripts/sweep_smoke.sh.
+sweep-smoke:
+	sh scripts/sweep_smoke.sh
+	sh scripts/bench_guard.sh bench_ceiling.txt
 
 # Hot-path allocation guard: the telemetry subsystem's "zero overhead when
 # disabled" claim, enforced. See scripts/bench_guard.sh.

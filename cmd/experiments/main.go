@@ -8,6 +8,10 @@
 //
 // Experiments: table1, fig5, fig7, fig8, fig9a, fig9b, fig9small, fig10a,
 // fig10b, fig11, fig12, all.
+//
+// -journal FILE streams one task-lifecycle event pair per figure sweep point
+// to FILE as JSONL (the supersim-tasks schema), so ssparse -tasks and ssplot
+// -plot taskgantt can account for where figure-regeneration time goes.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"supersim/internal/experiments"
+	"supersim/internal/taskrun"
 )
 
 func main() {
@@ -23,10 +28,29 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	seed := flag.Uint64("seed", 1, "base PRNG seed")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	journalPath := flag.String("journal", "", "stream per-sweep-point task events to this JSONL file")
 	flag.Parse()
 	opts := experiments.Options{Full: *full, Seed: *seed, Out: os.Stderr}
 	if *quiet {
 		opts.Out = nil
+	}
+	var journal *taskrun.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer jf.Close()
+		journal = taskrun.NewJournal(jf, nil)
+		opts.TaskProbe = journal
+		defer func() {
+			journal.RunFinished()
+			if err := journal.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: task journal: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	out := os.Stdout
 

@@ -21,6 +21,13 @@
 // as a stacked table, and -csv emits one (app, hop, component) row per cell:
 //
 //	ssparse -spans spans.jsonl -csv breakdown.csv
+//
+// With -tasks the input is a task event journal (JSONL, written by sssweep
+// -journal); the per-task lifecycle summary prints to stdout, and -csv emits
+// one timeline row per task (queued/ready/started/finished offsets plus
+// wait, resource-blocked and run durations):
+//
+//	ssparse -tasks tasks.jsonl -csv timelines.csv
 package main
 
 import (
@@ -41,7 +48,7 @@ func main() {
 
 func run(args []string) error {
 	var path, csvPath string
-	var telemetryMode, spansMode bool
+	var telemetryMode, spansMode, tasksMode bool
 	var rawFilters []string
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
@@ -58,6 +65,8 @@ func run(args []string) error {
 			telemetryMode = true
 		case arg == "-spans":
 			spansMode = true
+		case arg == "-tasks":
+			tasksMode = true
 		case path == "":
 			path = arg
 		default:
@@ -65,16 +74,25 @@ func run(args []string) error {
 		}
 	}
 	if path == "" {
-		return fmt.Errorf("usage: ssparse [-telemetry|-spans] <log file> [+filter ...] [-csv out.csv]")
+		return fmt.Errorf("usage: ssparse [-telemetry|-spans|-tasks] <log file> [+filter ...] [-csv out.csv]")
 	}
-	if telemetryMode && spansMode {
-		return fmt.Errorf("-telemetry and -spans are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{telemetryMode, spansMode, tasksMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-telemetry, -spans and -tasks are mutually exclusive")
 	}
 	if telemetryMode {
 		return runTelemetry(path, rawFilters, csvPath)
 	}
 	if spansMode {
 		return runSpans(path, rawFilters, csvPath)
+	}
+	if tasksMode {
+		return runTasks(path, rawFilters, csvPath)
 	}
 	var filters []ssparse.Filter
 	for _, raw := range rawFilters {
@@ -148,6 +166,57 @@ func runSpans(path string, rawFilters []string, csvPath string) error {
 			return err
 		}
 		fmt.Printf("wrote spans CSV to %s\n", csvPath)
+	}
+	return nil
+}
+
+// runTasks summarizes a task event journal (sssweep -journal): the run's
+// state counts and timing aggregates on stdout and, with -csv, one timeline
+// row per task.
+func runTasks(path string, rawFilters []string, csvPath string) error {
+	if len(rawFilters) > 0 {
+		return fmt.Errorf("+filters are not supported with -tasks")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := ssparse.LoadTasks(f)
+	if err != nil {
+		return err
+	}
+	states := map[string]int{}
+	var waitMS, blockedMS, runMS int64
+	blocked := 0
+	for _, tl := range log.Tasks {
+		states[tl.State]++
+		if tl.WaitMS > 0 {
+			waitMS += tl.WaitMS
+		}
+		if tl.BlockedMS > 0 {
+			blockedMS += tl.BlockedMS
+			blocked++
+		}
+		if tl.RunMS > 0 {
+			runMS += tl.RunMS
+		}
+	}
+	fmt.Printf("tasks:      %d (%d succeeded, %d failed, %d skipped, %d canceled)\n",
+		len(log.Tasks), states["succeeded"], states["failed"], states["skipped"], states["canceled"])
+	fmt.Printf("span:       %d ms (start %s)\n", log.SpanMS(), log.Header.Start)
+	fmt.Printf("durations:  run=%dms wait=%dms blocked=%dms (%d tasks blocked on resources)\n",
+		runMS, waitMS, blockedMS, blocked)
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := log.WriteTasksCSV(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote task CSV to %s\n", csvPath)
 	}
 	return nil
 }

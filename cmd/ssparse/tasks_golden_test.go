@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests for the -tasks task-journal mode, against a committed journal
+// (testdata/tasks.jsonl): the five-task fixed-clock fixture graph from
+// internal/taskrun — two sims contending for one cpu, a failing parse, a
+// canceled plot and a condition-skipped task.
+
+func TestGoldenTasksStdout(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-tasks", filepath.Join("testdata", "tasks.jsonl")})
+	})
+	checkGolden(t, filepath.Join("testdata", "golden_tasks_stdout.txt"), out)
+}
+
+func TestGoldenTasksCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "tasks.csv")
+	captureStdout(t, func() error {
+		return run([]string{"-tasks", filepath.Join("testdata", "tasks.jsonl"), "-csv", csv})
+	})
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_tasks.csv"), got)
+}
+
+func TestTasksRejectsFilters(t *testing.T) {
+	if err := run([]string{"-tasks", filepath.Join("testdata", "tasks.jsonl"), "+app=0"}); err == nil {
+		t.Fatal("-tasks with +filters did not error")
+	}
+}
+
+func TestTasksModesExclusive(t *testing.T) {
+	for _, other := range []string{"-telemetry", "-spans"} {
+		if err := run([]string{"-tasks", other, filepath.Join("testdata", "tasks.jsonl")}); err == nil {
+			t.Fatalf("-tasks with %s did not error", other)
+		}
+	}
+}
+
+func TestTasksRejectsWrongStream(t *testing.T) {
+	// A telemetry snapshot stream is not a task journal: the schema check
+	// must reject it rather than misparse.
+	if err := run([]string{"-tasks", filepath.Join("testdata", "telemetry.jsonl")}); err == nil {
+		t.Fatal("telemetry stream accepted as task journal")
+	}
+}

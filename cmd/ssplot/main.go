@@ -18,6 +18,12 @@
 // written by supersim -spans) and renders each application's per-hop pipeline
 // component breakdown as stacked ASCII bars on a shared scale; -csv emits the
 // full (app, hop, component) aggregation.
+//
+// The taskgantt plot kind reads a task event journal (JSONL, written by
+// sssweep -journal) and renders each task's lifecycle as a Gantt bar — '.'
+// while the task waited ready, '#' while it ran — followed by one utilization
+// timeline per resource pool (0-9, fraction of capacity busy); -csv emits the
+// per-task timeline rows.
 package main
 
 import (
@@ -33,7 +39,7 @@ import (
 )
 
 func main() {
-	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries | chanutil | rates | shardutil | breakdown")
+	plot := flag.String("plot", "percentile", "percentile | cdf | pdf | timeseries | chanutil | rates | shardutil | breakdown | taskgantt")
 	csvPath := flag.String("csv", "", "also write the series as CSV")
 	binWidth := flag.Uint64("bin", 0, "time series bin width in ticks (default: span/40)")
 	width := flag.Int("width", 70, "ASCII plot width")
@@ -66,6 +72,9 @@ func run(plot, csvPath string, binWidth uint64, width, height int, args []string
 	}
 	if plot == "breakdown" {
 		return runBreakdown(path, rawFilters, csvPath, width)
+	}
+	if plot == "taskgantt" {
+		return runTaskGantt(path, rawFilters, csvPath, width)
 	}
 	var filters []ssparse.Filter
 	for _, raw := range rawFilters {
@@ -225,6 +234,126 @@ func runBreakdown(path string, rawFilters []string, csvPath string, width int) e
 		}
 		defer out.Close()
 		if err := agg.WriteSpansCSV(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overlapMS returns the length of the intersection of [a0,a1) and [b0,b1).
+func overlapMS(a0, a1, b0, b1 float64) float64 {
+	lo, hi := max(a0, b0), min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// runTaskGantt renders a task event journal (sssweep -journal) as an ASCII
+// Gantt chart: one bar per task in queue order ('.' ready-and-waiting, '#'
+// running), then one utilization timeline per resource pool showing the
+// fraction of its capacity busy in each column (blank idle, 1-9 in tenths).
+// With -csv the per-task timeline rows are written via ssparse.
+func runTaskGantt(path string, rawFilters []string, csvPath string, width int) error {
+	if len(rawFilters) > 0 {
+		return fmt.Errorf("+filters are not supported with -plot taskgantt")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := ssparse.LoadTasks(f)
+	if err != nil {
+		return err
+	}
+	if len(log.Tasks) == 0 {
+		return fmt.Errorf("no tasks in %s", path)
+	}
+	span := log.SpanMS()
+	if span <= 0 {
+		span = 1
+	}
+	if width < 10 {
+		width = 10
+	}
+	scale := float64(span) / float64(width)
+
+	nameW := len("task")
+	for _, tl := range log.Tasks {
+		nameW = max(nameW, len(tl.Task))
+	}
+	fmt.Printf("task gantt: %d tasks over %d ms (1 char = %.2f ms)\n", len(log.Tasks), span, scale)
+	fmt.Println("legend: . ready-and-waiting, # running; resource rows: fraction of capacity busy in tenths")
+	for _, tl := range log.Tasks {
+		row := make([]byte, width)
+		for col := range row {
+			t0, t1 := float64(col)*scale, float64(col+1)*scale
+			switch {
+			case tl.StartedMS >= 0 && tl.FinishedMS >= 0 &&
+				overlapMS(t0, t1, float64(tl.StartedMS), float64(tl.FinishedMS)) > 0:
+				row[col] = '#'
+			case tl.ReadyMS >= 0 && tl.StartedMS >= 0 &&
+				overlapMS(t0, t1, float64(tl.ReadyMS), float64(tl.StartedMS)) > 0:
+				row[col] = '.'
+			default:
+				row[col] = ' '
+			}
+		}
+		note := tl.State
+		if tl.RunMS >= 0 {
+			note = fmt.Sprintf("%s run=%dms", note, tl.RunMS)
+		}
+		if tl.BlockedMS > 0 {
+			note = fmt.Sprintf("%s blocked=%dms on %s", note, tl.BlockedMS, tl.Resource)
+		}
+		if tl.Err != "" {
+			note = fmt.Sprintf("%s (%s)", note, tl.Err)
+		}
+		fmt.Printf("%-*s |%s| %s\n", nameW, tl.Task, row, note)
+	}
+
+	resources := make([]string, 0, len(log.Header.Capacity))
+	for res := range log.Header.Capacity {
+		resources = append(resources, res)
+	}
+	sort.Strings(resources)
+	for _, res := range resources {
+		capacity := log.Header.Capacity[res]
+		if capacity <= 0 {
+			continue
+		}
+		row := make([]byte, width)
+		for col := range row {
+			t0, t1 := float64(col)*scale, float64(col+1)*scale
+			busy := 0.0
+			for _, tl := range log.Tasks {
+				if tl.Res[res] <= 0 || tl.StartedMS < 0 || tl.FinishedMS < 0 {
+					continue
+				}
+				busy += overlapMS(t0, t1, float64(tl.StartedMS), float64(tl.FinishedMS)) * float64(tl.Res[res])
+			}
+			util := busy / (scale * float64(capacity))
+			tenths := int(util*9 + 0.5)
+			if tenths <= 0 {
+				row[col] = ' '
+			} else {
+				if tenths > 9 {
+					tenths = 9
+				}
+				row[col] = byte('0' + tenths)
+			}
+		}
+		fmt.Printf("%-*s |%s| capacity %d\n", nameW, res, row, capacity)
+	}
+
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := log.WriteTasksCSV(out); err != nil {
 			return err
 		}
 	}

@@ -11,6 +11,14 @@
 //
 //	sssweep -cpus 4 myconfig.json \
 //	    -var ChannelLatency=CL=network.channel.latency=uint=1,2,4,8,16,32
+//
+// Fleet observability (see OBSERVABILITY.md): -journal <f> writes a task
+// event journal (JSONL) of every permutation's lifecycle for ssparse -tasks
+// and ssplot -plot taskgantt, -manifest-dir <d> writes one provenance
+// manifest per permutation, and -serve <host:port> serves the live sweep
+// dashboard (/sweep progress JSON, /metrics Prometheus) while the campaign
+// runs. As with supersim, a modifier flag set without the flag it modifies
+// (-x without -html) is rejected up front.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"supersim/internal/config"
 	"supersim/internal/sweep"
+	"supersim/internal/taskrun"
 )
 
 type varFlags []string
@@ -34,24 +43,60 @@ func main() {
 	cpus := flag.Int("cpus", 1, "concurrent simulations")
 	htmlPath := flag.String("html", "", "write an HTML report (web viewer) to this file")
 	xVar := flag.String("x", "", "variable for the report's plot x axis")
+	journalPath := flag.String("journal", "", "write a task event journal (JSONL) of the sweep to this file")
+	manifestDir := flag.String("manifest-dir", "", "write one run provenance manifest per permutation into this directory")
+	serveAddr := flag.String("serve", "", "serve the live sweep dashboard HTTP on this address (/sweep, /metrics)")
 	flag.Var(&vars, "var", "sweep variable: NAME=SHORT=path=type=v1,v2,...")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sssweep [-cpus N] [-var ...] [-html report.html -x VAR] <config.json>")
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set); err != nil {
+		fmt.Fprintln(os.Stderr, "sssweep:", err)
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), vars, *cpus, *htmlPath, *xVar); err != nil {
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sssweep [-cpus N] [-var ...] [-html report.html -x VAR] [-journal f] [-manifest-dir d] [-serve addr] <config.json>")
+		os.Exit(2)
+	}
+	err := run(flag.Arg(0), vars, runOpts{
+		cpus:        *cpus,
+		htmlPath:    *htmlPath,
+		xVar:        *xVar,
+		journalPath: *journalPath,
+		manifestDir: *manifestDir,
+		serveAddr:   *serveAddr,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sssweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgPath string, vars []string, cpus int, htmlPath, xVar string) error {
+// runOpts carries the command-line options into run.
+type runOpts struct {
+	cpus        int
+	htmlPath    string
+	xVar        string
+	journalPath string
+	manifestDir string
+	serveAddr   string
+}
+
+// validateFlags rejects modifier flags set without the flag they modify —
+// the same fail-fast contract as supersim's flag validation.
+func validateFlags(set map[string]bool) error {
+	if set["x"] && !set["html"] {
+		return fmt.Errorf("-x has no effect without -html")
+	}
+	return nil
+}
+
+func run(cfgPath string, vars []string, o runOpts) error {
 	base, err := config.LoadFile(cfgPath)
 	if err != nil {
 		return err
 	}
-	s := sweep.New(base, cpus)
+	s := sweep.New(base, o.cpus)
 	var names []string
 	for _, decl := range vars {
 		v, err := parseVar(decl)
@@ -61,10 +106,38 @@ func run(cfgPath string, vars []string, cpus int, htmlPath, xVar string) error {
 		names = append(names, v.Name)
 		s.AddVariable(v)
 	}
+	var probes []taskrun.Probe
+	var journal *taskrun.Journal
+	if o.journalPath != "" {
+		f, err := os.Create(o.journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		journal = taskrun.NewJournal(f, nil)
+		probes = append(probes, journal)
+	}
+	if o.serveAddr != "" {
+		mon := sweep.NewMonitor(nil)
+		mon.Serve(o.serveAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "sssweep: dashboard server:", err)
+		})
+		fmt.Fprintf(os.Stderr, "dashboard: serving http://%s/ (/sweep, /metrics)\n", o.serveAddr)
+		probes = append(probes, mon)
+	}
+	s.SetProbe(taskrun.Probes(probes...))
+	if o.manifestDir != "" {
+		s.WriteManifests(o.manifestDir)
+	}
 	fmt.Fprintf(os.Stderr, "sweeping %d permutations\n", s.Permutations())
 	points, err := s.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sssweep: some permutations failed:", err)
+	}
+	if journal != nil {
+		if jerr := journal.Err(); jerr != nil {
+			return fmt.Errorf("task journal: %w", jerr)
+		}
 	}
 	// CSV: id, variables..., then summary columns.
 	header := append([]string{"id"}, names...)
@@ -92,16 +165,16 @@ func run(cfgPath string, vars []string, cpus int, htmlPath, xVar string) error {
 		)
 		fmt.Println(strings.Join(row, ","))
 	}
-	if htmlPath != "" {
-		f, err := os.Create(htmlPath)
+	if o.htmlPath != "" {
+		f, err := os.Create(o.htmlPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := sweep.WriteReport(f, "sssweep: "+cfgPath, points, xVar); err != nil {
+		if err := sweep.WriteReport(f, "sssweep: "+cfgPath, points, o.xVar); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", htmlPath)
+		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", o.htmlPath)
 	}
 	return nil
 }

@@ -39,6 +39,14 @@
 // (engine_* in /metrics and snapshots) and a /shards JSON endpoint on
 // -telemetry-addr.
 //
+// Provenance: -manifest <f> writes a versioned JSON run manifest on
+// completion — the canonical config hash, seed, worker count, the flags of
+// the invocation, wall/sim time, per-app latency metrics, and the SHA-256
+// digest of every artifact the run produced (log, telemetry, trace, spans,
+// checkpoint). Manifests tie artifacts back to exactly what produced them;
+// see OBSERVABILITY.md. -manifest is output-only and therefore also valid
+// with -restore.
+//
 // Checkpointing: -checkpoint-every N -checkpoint-file F writes a complete
 // snapshot of simulator state to F (atomically replaced) at every N-tick
 // boundary while work remains; the pauses are invisible to the simulation.
@@ -57,9 +65,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"supersim/internal/config"
 	"supersim/internal/core"
+	"supersim/internal/manifest"
 	"supersim/internal/sim"
 	"supersim/internal/ssparse"
 	"supersim/internal/stats"
@@ -84,9 +94,14 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "write a checkpoint snapshot every N ticks (requires -checkpoint-file)")
 	checkpointFile := flag.String("checkpoint-file", "", "checkpoint snapshot path, atomically replaced at each interval (requires -checkpoint-every)")
 	restorePath := flag.String("restore", "", "restore simulator state from a checkpoint snapshot (replaces the config file argument)")
+	manifestPath := flag.String("manifest", "", "write a run provenance manifest (JSON) to this file on completion")
 	flag.Parse()
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	flagVals := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		set[f.Name] = true
+		flagVals[f.Name] = f.Value.String()
+	})
 	if err := validateFlags(set, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "supersim:", err)
 		os.Exit(2)
@@ -135,6 +150,8 @@ func main() {
 		checkpointEvery: *checkpointEvery,
 		checkpointFile:  *checkpointFile,
 		restorePath:     *restorePath,
+		manifestPath:    *manifestPath,
+		flags:           flagVals,
 	})
 	if *memProfile != "" {
 		if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
@@ -196,6 +213,9 @@ type runOpts struct {
 	checkpointEvery uint64
 	checkpointFile  string
 	restorePath     string
+
+	manifestPath string
+	flags        map[string]string // flags explicitly set, name -> rendered value
 }
 
 // validateFlags rejects combinations where a modifier flag was set on the
@@ -282,6 +302,7 @@ func (o *runOpts) apply(cfg *config.Settings) error {
 }
 
 func run(cfgPath string, overrides []string, o runOpts) error {
+	startWall := time.Now()
 	var sm *core.Simulation
 	if o.restorePath != "" {
 		data, err := os.ReadFile(o.restorePath)
@@ -400,5 +421,63 @@ func run(cfgPath string, overrides []string, o runOpts) error {
 			}
 		}
 	}
+	if o.manifestPath != "" {
+		if err := writeRunManifest(sm, cfg, o, res, startWall, ckPath); err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Printf("manifest: %s\n", o.manifestPath)
+		}
+	}
 	return nil
+}
+
+// writeRunManifest records the run's provenance next to its artifacts: config
+// hash, seed, workers, the explicit flags, wall/sim time, per-app latency
+// metrics, and a digest of every output file. Artifacts are added in a fixed
+// role order so the document layout is stable; the checkpoint entry is
+// stat-gated because a run shorter than the checkpoint interval never writes
+// one.
+func writeRunManifest(sm *core.Simulation, cfg *config.Settings, o runOpts,
+	res core.Result, startWall time.Time, ckPath string) error {
+	m := manifest.New(cfg)
+	m.SimTicks = uint64(res.EndTick)
+	m.Events = res.Events
+	m.StartedAt = startWall.UTC().Format(time.RFC3339)
+	m.WallSec = time.Since(startWall).Seconds()
+	m.Flags = o.flags
+	m.Metrics = map[string]float64{}
+	for i := 0; i < sm.Workload.NumApps(); i++ {
+		sp, ok := sm.Workload.App(i).(stats.Provider)
+		if !ok {
+			continue
+		}
+		sum := sp.Stats().Summarize()
+		prefix := fmt.Sprintf("app%d_", i)
+		m.Metrics[prefix+"samples"] = float64(sum.Count)
+		m.Metrics[prefix+"latency_mean"] = sum.Mean
+		m.Metrics[prefix+"latency_p50"] = sum.P50
+		m.Metrics[prefix+"latency_p99"] = sum.P99
+	}
+	artifacts := []struct{ role, path string }{
+		{"log", o.logPath},
+		{"telemetry", cfg.StringOr("simulation.telemetry.snapshot_file", "")},
+		{"trace", cfg.StringOr("simulation.telemetry.trace_file", "")},
+		{"spans", cfg.StringOr("simulation.telemetry.spans_file", "")},
+		{"checkpoint", ckPath},
+	}
+	for _, a := range artifacts {
+		if a.path == "" {
+			continue
+		}
+		if a.role == "checkpoint" {
+			if _, err := os.Stat(a.path); err != nil {
+				continue
+			}
+		}
+		if err := m.AddArtifact(a.role, a.path); err != nil {
+			return err
+		}
+	}
+	return m.WriteFile(o.manifestPath)
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"supersim/internal/config"
+	"supersim/internal/manifest"
 	"supersim/internal/telemetry"
 )
 
@@ -55,6 +57,11 @@ func TestValidateFlags(t *testing.T) {
 		{"restore with verify", setOf("restore", "verify"), 1, "-verify"},
 		{"restore with telemetry", setOf("restore", "telemetry"), 1, "-telemetry"},
 		{"restore with spans", setOf("restore", "spans"), 1, "-spans"},
+		{"manifest alone", setOf("manifest"), 1, ""},
+		// -manifest is output-only: it records the run, never changes it, so it
+		// is valid even on the restore path.
+		{"restore with manifest", setOf("restore", "manifest"), 1, ""},
+		{"manifest with full telemetry", setOf("manifest", "telemetry", "trace", "spans"), 1, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -267,5 +274,222 @@ func TestRunWritesSpansStream(t *testing.T) {
 	}
 	if hdr.Sample != 1.0 || records == 0 {
 		t.Fatalf("spans stream: sample %v, %d records", hdr.Sample, records)
+	}
+}
+
+// TestRunWritesManifest drives run() with every artifact stream enabled plus
+// -manifest: the manifest must tie each artifact to the run with a digest
+// that verifies against the actual files.
+func TestRunWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	doc := `{
+	  "simulation": {"seed": 7},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [2, 2],
+	    "concentration": 1,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.1,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 100,
+	      "sample_duration": 300,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "run.manifest.json")
+	err := run(cfgPath, nil, runOpts{
+		quiet:         true,
+		logPath:       filepath.Join(dir, "log.txt"),
+		spansPath:     filepath.Join(dir, "spans.jsonl"),
+		telemetryFile: filepath.Join(dir, "telemetry.jsonl"),
+		spansSample:   1.0, telemetryBin: 1000, traceSample: 1.0,
+		manifestPath: manifestPath,
+		flags:        map[string]string{"log": "log.txt", "spans": "spans.jsonl"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.LoadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ConfigHash) != 64 || m.Seed != 7 || m.Workers != 1 {
+		t.Fatalf("provenance header %+v", m)
+	}
+	if m.SimTicks == 0 || m.Events == 0 {
+		t.Fatalf("run results missing: %+v", m)
+	}
+	if m.StartedAt == "" {
+		t.Fatal("started_at missing on the CLI path")
+	}
+	if m.Flags["log"] != "log.txt" {
+		t.Fatalf("flags %+v", m.Flags)
+	}
+	if m.Metrics["app0_samples"] == 0 || m.Metrics["app0_latency_mean"] == 0 {
+		t.Fatalf("metrics %+v", m.Metrics)
+	}
+	roles := map[string]bool{}
+	for _, a := range m.Artifacts {
+		roles[a.Role] = true
+	}
+	for _, want := range []string{"log", "telemetry", "spans"} {
+		if !roles[want] {
+			t.Fatalf("artifact role %s missing: %+v", want, m.Artifacts)
+		}
+	}
+	if roles["checkpoint"] || roles["trace"] {
+		t.Fatalf("unrequested artifacts recorded: %+v", m.Artifacts)
+	}
+	// Every digest must verify against the files the run actually wrote.
+	if err := m.VerifyArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunManifestDeterministicModuloWallClock: two identical runs produce
+// manifests that agree on every field except the two documented wall-clock
+// readings.
+func TestRunManifestDeterministicModuloWallClock(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	doc := `{
+	  "simulation": {"seed": 3},
+	  "network": {
+	    "topology": "parking_lot",
+	    "routers": 3,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.05,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 50,
+	      "sample_duration": 100,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	render := func(name string) []byte {
+		path := filepath.Join(dir, name)
+		err := run(cfgPath, nil, runOpts{
+			quiet: true, telemetryBin: 1000, traceSample: 1.0,
+			logPath:      filepath.Join(dir, "log.txt"),
+			manifestPath: path,
+			flags:        map[string]string{"log": "log.txt", "manifest": "run.manifest.json"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := manifest.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.StartedAt, m.WallSec = "", 0
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render("a.manifest.json"), render("b.manifest.json")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("manifests differ beyond wall-clock fields:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestManifestSurvivesCheckpointRestore: a restored continuation writes a
+// manifest that agrees with the uninterrupted run's on provenance and final
+// results — the checkpoint round trip loses nothing the manifest records
+// (events excepted: a restored run counts only post-restore events).
+func TestManifestSurvivesCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	snapPath := filepath.Join(dir, "snap.ssim")
+	doc := `{
+	  "simulation": {"seed": 11},
+	  "network": {
+	    "topology": "torus",
+	    "dimensions": [2, 2],
+	    "concentration": 1,
+	    "channel": {"latency": 2, "period": 1},
+	    "injection": {"latency": 1},
+	    "router": {"architecture": "input_queued", "num_vcs": 2, "input_buffer_depth": 8}
+	  },
+	  "workload": {
+	    "applications": [{
+	      "type": "blast",
+	      "injection_rate": 0.1,
+	      "message_size": 2,
+	      "max_packet_size": 2,
+	      "warmup_duration": 100,
+	      "sample_duration": 300,
+	      "traffic": {"type": "uniform_random"}
+	    }]
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.manifest.json")
+	err := run(cfgPath, nil, runOpts{
+		quiet: true, telemetryBin: 1000, traceSample: 1.0,
+		checkpointEvery: 100, checkpointFile: snapPath,
+		manifestPath: full,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(dir, "restored.manifest.json")
+	err = run("", nil, runOpts{
+		quiet: true, telemetryBin: 1000, traceSample: 1.0,
+		restorePath:  snapPath,
+		manifestPath: restored,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := manifest.LoadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := manifest.LoadFile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.ConfigHash != mr.ConfigHash {
+		t.Fatalf("config hash changed across restore:\n%s\n%s", mf.ConfigHash, mr.ConfigHash)
+	}
+	if mf.Seed != mr.Seed || mf.Workers != mr.Workers || mf.SimTicks != mr.SimTicks {
+		t.Fatalf("provenance diverged: %+v vs %+v", mf, mr)
+	}
+	for _, k := range []string{"app0_samples", "app0_latency_mean", "app0_latency_p50", "app0_latency_p99"} {
+		if mf.Metrics[k] != mr.Metrics[k] {
+			t.Fatalf("metric %s diverged: %v vs %v", k, mf.Metrics[k], mr.Metrics[k])
+		}
+	}
+	// The full run recorded its final checkpoint as an artifact; the restored
+	// run re-checkpointed over the same file, so re-verification must use the
+	// restored manifest.
+	if err := mr.VerifyArtifacts(dir); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"supersim/internal/core"
 	"supersim/internal/sim"
 	"supersim/internal/stats"
+	"supersim/internal/taskrun"
 	"supersim/internal/workload/apps"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// (BenchmarkFigure5TraceParallel); the output bytes are identical to a
 	// serial trace.
 	TraceFile string
+
+	// TaskProbe, when non-nil, receives a lifecycle event pair per sweep
+	// point: every sweepLoads simulation is reported as a queued → ready →
+	// started → finished task named "<label> load=<l>", so a taskrun.Journal
+	// (or the sweep monitor) can observe figure regeneration the same way it
+	// observes sssweep fleets. Experiment sweeps run serially, so events
+	// arrive in run order.
+	TaskProbe taskrun.Probe
 }
 
 func (o Options) seed() uint64 {
@@ -175,7 +184,16 @@ func (r runResult) point(offered float64) LoadPoint {
 func sweepLoads(label string, loads []float64, opts Options, mkCfg func(load float64) *config.Settings) Curve {
 	c := Curve{Label: label}
 	for _, load := range loads {
+		task := fmt.Sprintf("%s load=%.2f", label, load)
+		if opts.TaskProbe != nil {
+			opts.TaskProbe.TaskQueued(task, nil)
+			opts.TaskProbe.TaskReady(task)
+			opts.TaskProbe.TaskStarted(task)
+		}
 		res := runBlast(opts.prep(mkCfg(load)))
+		if opts.TaskProbe != nil {
+			opts.TaskProbe.TaskFinished(task, taskrun.Succeeded, nil)
+		}
 		p := res.point(load)
 		c.Points = append(c.Points, p)
 		opts.logf("  %-32s load=%.2f accepted=%.3f mean=%.0f p99=%.0f%s\n",

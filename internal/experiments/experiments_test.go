@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
+
+	"supersim/internal/config"
+	"supersim/internal/taskrun"
 )
 
 func TestCurveSaturationThroughput(t *testing.T) {
@@ -136,5 +140,46 @@ func TestFigure7Deterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("point %d differs: %v vs %v — experiments are not deterministic", i, a[i], b[i])
 		}
+	}
+}
+
+func TestSweepLoadsReportsTasksToProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	var buf bytes.Buffer
+	j := taskrun.NewJournal(&buf, taskrun.FixedClock(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), time.Millisecond))
+	opts := Options{Seed: 5, TaskProbe: j}
+	c := sweepLoads("fixture", []float64{0.1, 0.2}, opts, func(load float64) *config.Settings {
+		return torusConfig(2, 2, 1, "flit_buffer", load, 5, 500)
+	})
+	j.RunFinished()
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 2 {
+		t.Fatalf("points %+v", c.Points)
+	}
+	_, events, err := taskrun.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per load point: queued, ready, started, finished — then the done line.
+	var finished []string
+	for _, ev := range events {
+		if ev.Ev == "finished" {
+			if ev.State != "succeeded" {
+				t.Fatalf("state %+v", ev)
+			}
+			finished = append(finished, ev.Task)
+		}
+	}
+	want := []string{"fixture load=0.10", "fixture load=0.20"}
+	if len(finished) != len(want) || finished[0] != want[0] || finished[1] != want[1] {
+		t.Fatalf("finished tasks %v, want %v", finished, want)
+	}
+	last := events[len(events)-1]
+	if last.Ev != "done" || last.Succeeded != 2 {
+		t.Fatalf("done event %+v", last)
 	}
 }

@@ -27,6 +27,11 @@ var DefaultSimCorePackages = []string{
 	// Snapshot encoding is compared byte-for-byte by the import/export
 	// equivalence tests, so the codec must never iterate a raw Go map.
 	"supersim/internal/snapshot",
+	// Task journals are compared byte-for-byte by the fixed-clock goldens:
+	// outside its two sanctioned seams (the Clock constructor and the
+	// runner's lock discipline) the package must not read the wall clock,
+	// iterate raw maps into output, or spawn ad-hoc goroutines.
+	"supersim/internal/taskrun",
 }
 
 // DefaultWallClockAllow lists file-path suffixes exempt from the wall-clock
@@ -34,6 +39,9 @@ var DefaultSimCorePackages = []string{
 // which is presentation-only and never feeds simulation state.
 var DefaultWallClockAllow = []string{
 	"internal/sim/progress.go",
+	// taskrun's injectable-clock seam: WallClock() is the package's only
+	// time.Now read; journals under test use FixedClock instead.
+	"taskrun/clock.go",
 }
 
 // DefaultConcurrencyAllow lists file-path suffixes exempt from the
@@ -44,6 +52,10 @@ var DefaultWallClockAllow = []string{
 var DefaultConcurrencyAllow = []string{
 	"internal/sim/parallel.go",
 	"internal/sim/progress.go",
+	// The task runner's scheduler: one mutex + cond and one goroutine per
+	// running task, with every probe call serialized under the lock (the
+	// journal race test enforces the discipline).
+	"taskrun/taskrun.go",
 }
 
 // Determinism enforces that sim-core packages stay bit-exact reproducible:
@@ -243,8 +255,9 @@ func stmtOrderInsensitive(st ast.Stmt, key *ast.Ident) bool {
 		return sideEffectFree(s.X)
 	case *ast.AssignStmt:
 		switch s.Tok {
-		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-			// Commutative accumulation into a fixed location.
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative accumulation into a fixed location (subtraction is
+			// addition of the negation, so -= commutes too).
 			return len(s.Lhs) == 1 && sideEffectFree(s.Lhs[0]) && sideEffectFree(s.Rhs[0])
 		case token.ASSIGN:
 			// m2[k] = v writes a distinct key per iteration (range keys are

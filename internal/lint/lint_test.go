@@ -135,6 +135,24 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	}
 }
 
+func TestDeterminismCoversTaskrunPackage(t *testing.T) {
+	// The task runner's journals are byte-compared by fixed-clock goldens, so
+	// taskrun is sim-core with two file-scoped seams: clock.go may read the
+	// wall clock and taskrun.go may import sync and launch goroutines.
+	// Everything else in the fixture is flagged as usual.
+	p := loadFixture(t, "taskrun", "supersim/internal/taskrun/lintfixture")
+	runWantTest(t, p, []Analyzer{NewDeterminism()})
+}
+
+func TestDeterminismTaskrunSeamsAreScoped(t *testing.T) {
+	// Outside the taskrun import path the same files produce nothing — the
+	// file-suffix allowlists never widen the rule's package scope.
+	p := loadFixture(t, "taskrun", "supersim/internal/lint/testdata/src/taskrun")
+	if diags := NewDeterminism().Check(p); len(diags) != 0 {
+		t.Fatalf("determinism fired outside sim-core: %v", diags)
+	}
+}
+
 func TestHotpathFixture(t *testing.T) {
 	p := loadFixture(t, "hotpath", "supersim/internal/lint/testdata/src/hotpath")
 	runWantTest(t, p, []Analyzer{NewHotpath()})

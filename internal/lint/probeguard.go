@@ -29,6 +29,7 @@ var DefaultProbeTypes = []probeType{
 	{"supersim/internal/telemetry", "Tracer"},
 	{"supersim/internal/telemetry", "EngineProbe"},
 	{"supersim/internal/sim", "ShardProbe"},
+	{"supersim/internal/taskrun", "Probe"},
 	{"supersim/internal/verify", "Verifier"},
 	{"supersim/internal/verify", "CreditLedger"},
 	{"supersim/internal/verify", "BufferLedger"},

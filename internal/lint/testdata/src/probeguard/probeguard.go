@@ -6,6 +6,7 @@ package lintfixture
 
 import (
 	"supersim/internal/sim"
+	"supersim/internal/taskrun"
 	"supersim/internal/verify"
 )
 
@@ -14,6 +15,7 @@ type node struct {
 	cl   *verify.CreditLedger
 	leds []*verify.BufferLedger
 	sp   sim.ShardProbe
+	tp   taskrun.Probe
 }
 
 func (n *node) unguarded() {
@@ -73,6 +75,20 @@ func (n *node) shardGuarded(h uint64, events uint64) {
 		return
 	}
 	n.sp.InboxDrained(1)
+}
+
+func (n *node) taskUnguarded() {
+	n.tp.TaskReady("sim") // want `not dominated by a nil check of n\.tp`
+}
+
+func (n *node) taskGuarded() {
+	if n.tp != nil {
+		n.tp.TaskStarted("sim")
+	}
+	if n.tp == nil {
+		return
+	}
+	n.tp.RunFinished()
 }
 
 func (n *node) indexPrefix(port int) {

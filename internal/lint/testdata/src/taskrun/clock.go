@@ -1,0 +1,14 @@
+// Package lintfixture exercises the determinism rule's taskrun seams: the
+// wall-clock allowlist stops at clock.go, the concurrency allowlist at
+// taskrun.go, and everything else in the package is held to full sim-core
+// discipline. Loaded under supersim/internal/taskrun/lintfixture by the lint
+// tests; never part of the build.
+package lintfixture
+
+import "time"
+
+// now mirrors taskrun.WallClock: clock.go is the sanctioned time.Now seam,
+// so this read must NOT be flagged.
+func now() time.Time {
+	return time.Now()
+}

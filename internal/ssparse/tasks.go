@@ -1,0 +1,129 @@
+package ssparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"supersim/internal/taskrun"
+)
+
+// TaskTimeline is one task's lifecycle reconstructed from a task event
+// journal (supersim's taskrun JSONL, written by sssweep -journal). All
+// millisecond fields are offsets from the journal start; -1 marks a phase the
+// task never reached (a canceled task never starts, a skipped task never
+// blocks).
+type TaskTimeline struct {
+	Task     string
+	State    string // succeeded | failed | skipped | canceled
+	Resource string // last resource the task was observed blocked on
+	Err      string
+
+	QueuedMS   int64
+	ReadyMS    int64
+	StartedMS  int64
+	FinishedMS int64
+
+	WaitMS    int64 // ready -> started
+	BlockedMS int64 // blocked -> started (resource wait attribution)
+	RunMS     int64 // started -> finished
+
+	Res map[string]int // resource demand, from the queued event
+}
+
+// TaskLog is a fully parsed task event journal: the header, one timeline per
+// task in queue (registration) order, and the run's closing summary event
+// when present.
+type TaskLog struct {
+	Header taskrun.JournalHeader
+	Tasks  []TaskTimeline
+	Done   *taskrun.JournalEvent
+}
+
+// SpanMS returns the journal time span covered by the log: the done event's
+// wall clock when present, else the latest event offset seen.
+func (l *TaskLog) SpanMS() int64 {
+	if l.Done != nil {
+		return l.Done.WallMS
+	}
+	span := int64(0)
+	for _, tl := range l.Tasks {
+		for _, t := range []int64{tl.QueuedMS, tl.ReadyMS, tl.StartedMS, tl.FinishedMS} {
+			if t > span {
+				span = t
+			}
+		}
+	}
+	return span
+}
+
+// LoadTasks parses a task event journal into per-task timelines.
+func LoadTasks(r io.Reader) (*TaskLog, error) {
+	hdr, events, err := taskrun.ReadJournal(r)
+	if err != nil {
+		return nil, err
+	}
+	log := &TaskLog{Header: hdr}
+	index := map[string]int{}
+	timeline := func(name string) *TaskTimeline {
+		if i, ok := index[name]; ok {
+			return &log.Tasks[i]
+		}
+		index[name] = len(log.Tasks)
+		log.Tasks = append(log.Tasks, TaskTimeline{
+			Task:     name,
+			QueuedMS: -1, ReadyMS: -1, StartedMS: -1, FinishedMS: -1,
+			WaitMS: -1, BlockedMS: -1, RunMS: -1,
+		})
+		return &log.Tasks[len(log.Tasks)-1]
+	}
+	for i, ev := range events {
+		switch ev.Ev {
+		case "queued":
+			tl := timeline(ev.Task)
+			tl.QueuedMS = ev.T
+			tl.Res = ev.Res
+		case "ready":
+			timeline(ev.Task).ReadyMS = ev.T
+		case "blocked":
+			timeline(ev.Task).Resource = ev.Resource
+		case "started":
+			tl := timeline(ev.Task)
+			tl.StartedMS = ev.T
+			tl.WaitMS = ev.WaitMS
+			if ev.BlockedMS > 0 {
+				tl.BlockedMS = ev.BlockedMS
+			}
+		case "finished":
+			tl := timeline(ev.Task)
+			tl.FinishedMS = ev.T
+			tl.State = ev.State
+			tl.Err = ev.Err
+			if tl.StartedMS >= 0 {
+				tl.RunMS = ev.RunMS
+			}
+		case "done":
+			log.Done = &events[i]
+		}
+	}
+	return log, nil
+}
+
+// WriteTasksCSV emits one row per task in queue order: the timeline offsets
+// and the derived durations, -1 for phases never reached.
+func (l *TaskLog) WriteTasksCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw,
+		"task,state,resource,queued_ms,ready_ms,started_ms,finished_ms,wait_ms,blocked_ms,run_ms"); err != nil {
+		return err
+	}
+	for _, tl := range l.Tasks {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
+			tl.Task, tl.State, tl.Resource,
+			tl.QueuedMS, tl.ReadyMS, tl.StartedMS, tl.FinishedMS,
+			tl.WaitMS, tl.BlockedMS, tl.RunMS); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

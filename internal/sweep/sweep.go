@@ -8,12 +8,15 @@ package sweep
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 
 	"supersim/internal/config"
 	"supersim/internal/core"
+	"supersim/internal/manifest"
 	"supersim/internal/stats"
 	"supersim/internal/taskrun"
 	"supersim/internal/workload"
@@ -40,9 +43,11 @@ type Point struct {
 
 // Sweep is a configured sweep campaign.
 type Sweep struct {
-	base *config.Settings
-	vars []Variable
-	cpus int
+	base        *config.Settings
+	vars        []Variable
+	cpus        int
+	probe       taskrun.Probe
+	manifestDir string
 }
 
 // New creates a sweep over a base settings document. cpus bounds concurrent
@@ -53,6 +58,17 @@ func New(base *config.Settings, cpus int) *Sweep {
 	}
 	return &Sweep{base: base, cpus: cpus}
 }
+
+// SetProbe attaches a task lifecycle probe to the sweep's runner — a Journal
+// for the persistent event log, a Monitor for the live dashboard, or both
+// combined with taskrun.Probes. Call before Run.
+func (s *Sweep) SetProbe(p taskrun.Probe) { s.probe = p }
+
+// WriteManifests makes Run write one provenance manifest per successful
+// permutation into dir (created on demand), named <id>.manifest.json. Sweep
+// manifests carry no wall-clock fields, so they are byte-deterministic for a
+// deterministic simulation. Call before Run.
+func (s *Sweep) WriteManifests(dir string) { s.manifestDir = dir }
 
 // AddVariable declares a sweep variable.
 func (s *Sweep) AddVariable(v Variable) {
@@ -79,6 +95,12 @@ func (s *Sweep) Run() ([]Point, error) {
 	var points []Point
 	var mu sync.Mutex
 	runner := taskrun.NewRunner(map[string]int{"cpu": s.cpus})
+	runner.SetProbe(s.probe)
+	if s.manifestDir != "" {
+		if err := os.MkdirAll(s.manifestDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sweep: manifest dir: %w", err)
+		}
+	}
 	for {
 		// Materialize this permutation.
 		values := map[string]any{}
@@ -106,7 +128,8 @@ func (s *Sweep) Run() ([]Point, error) {
 				pt.Err = err
 				return err
 			}
-			if _, err := sm.Run(); err != nil {
+			res, err := sm.Run()
+			if err != nil {
 				pt.Err = err
 				return err
 			}
@@ -121,6 +144,12 @@ func (s *Sweep) Run() ([]Point, error) {
 				sm.Workload.PhaseTimes[workload.Generating]
 			pt.Accepted = stats.Throughput(rec.Flits(), sm.Net.NumTerminals(),
 				window, sm.Net.ChannelPeriod())
+			if s.manifestDir != "" {
+				if err := s.writeManifest(cfg, pt, res); err != nil {
+					pt.Err = err
+					return err
+				}
+			}
 			return nil
 		}).Require("cpu", 1)
 
@@ -141,4 +170,30 @@ func (s *Sweep) Run() ([]Point, error) {
 	err := runner.Run()
 	sort.Slice(points, func(i, j int) bool { return points[i].ID < points[j].ID })
 	return points, err
+}
+
+// writeManifest records one permutation's provenance: the point's effective
+// config hash, its id and variable assignments as labels, and the final
+// metrics. Sweep manifests deliberately omit wall-clock fields so a
+// deterministic simulation yields byte-identical manifests.
+func (s *Sweep) writeManifest(cfg *config.Settings, pt Point, res core.Result) error {
+	m := manifest.New(cfg)
+	m.SimTicks = uint64(res.EndTick)
+	m.Events = res.Events
+	m.Labels = map[string]string{"point": pt.ID}
+	for name, val := range pt.Values {
+		m.Labels[name] = fmt.Sprintf("%v", val)
+	}
+	m.Metrics = map[string]float64{
+		"accepted":     pt.Accepted,
+		"latency_mean": pt.Summary.Mean,
+		"latency_p50":  pt.Summary.P50,
+		"latency_p99":  pt.Summary.P99,
+		"samples":      float64(pt.Summary.Count),
+	}
+	path := filepath.Join(s.manifestDir, pt.ID+".manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		return fmt.Errorf("sweep: manifest for %s: %w", pt.ID, err)
+	}
+	return nil
 }

@@ -54,6 +54,12 @@ type Task struct {
 
 	state State
 	err   error
+
+	// Scheduler-side observation state: ready has been reported to the
+	// probe; blockedOn is the bottleneck resource last reported (empty when
+	// not blocked), so blocked events fire per transition, not per scan.
+	readyObserved bool
+	blockedOn     string
 }
 
 // Name returns the task name.
@@ -95,6 +101,7 @@ type Runner struct {
 	capacity map[string]int
 	tasks    []*Task
 	byName   map[string]*Task
+	probe    Probe
 }
 
 // NewRunner creates a runner with the given resource capacities, e.g.
@@ -102,6 +109,7 @@ type Runner struct {
 // capacity are rejected at Add time.
 func NewRunner(capacity map[string]int) *Runner {
 	cp := make(map[string]int, len(capacity))
+	//sslint:allow determinism — defensive copy keyed by the iteration key; the validation panic aborts identically in any order
 	for k, v := range capacity {
 		if v <= 0 {
 			panic("taskrun: resource capacity must be positive")
@@ -128,13 +136,35 @@ func (r *Runner) Task(name string, action func() error) *Task {
 // Tasks returns all registered tasks.
 func (r *Runner) Tasks() []*Task { return r.tasks }
 
+// SetProbe attaches a task-lifecycle probe (a Journal, the sweep monitor, or
+// several combined via Probes). nil disables observation; the runner
+// nil-guards every call. Must be set before Run.
+func (r *Runner) SetProbe(p Probe) { r.probe = p }
+
+// sortedResources returns m's resource names in sorted order so every
+// iteration over a resource map is deterministic — journal goldens and
+// blocked-resource attribution depend on it.
+func sortedResources(m map[string]int) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	//sslint:allow determinism — keys are sorted immediately below; iteration order cannot escape
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Run executes the task graph: every task runs after its dependencies, the
 // resource pool is never oversubscribed, and independent tasks run
 // concurrently. It returns an error if any task failed, was skipped, or if
 // the graph has a dependency cycle.
 func (r *Runner) Run() error {
 	for _, t := range r.tasks {
-		for res, amt := range t.resources {
+		for _, res := range sortedResources(t.resources) {
+			amt := t.resources[res]
 			cap, ok := r.capacity[res]
 			if !ok {
 				return fmt.Errorf("taskrun: task %q requires unknown resource %q", t.name, res)
@@ -143,6 +173,14 @@ func (r *Runner) Run() error {
 				return fmt.Errorf("taskrun: task %q requires %d of %q, capacity is %d",
 					t.name, amt, res, cap)
 			}
+		}
+	}
+	if r.probe != nil {
+		r.probe.RunStarted(r.capacity, len(r.tasks))
+	}
+	for _, t := range r.tasks {
+		if r.probe != nil {
+			r.probe.TaskQueued(t.name, t.resources)
 		}
 	}
 	var (
@@ -168,12 +206,22 @@ func (r *Runner) Run() error {
 		return true, false
 	}
 	fits := func(t *Task) bool {
-		for res, amt := range t.resources {
-			if available[res] < amt {
+		for _, res := range sortedResources(t.resources) {
+			if available[res] < t.resources[res] {
 				return false
 			}
 		}
 		return true
+	}
+	// bottleneck names the first insufficient resource in sorted order — the
+	// blocked-on attribution the probe reports.
+	bottleneck := func(t *Task) (res string, need, avail int) {
+		for _, res := range sortedResources(t.resources) {
+			if need := t.resources[res]; available[res] < need {
+				return res, need, available[res]
+			}
+		}
+		return "", 0, 0
 	}
 
 	mu.Lock()
@@ -190,23 +238,48 @@ func (r *Runner) Run() error {
 				t.state = Canceled
 				pending--
 				launched = true // state changed; rescan
+				if r.probe != nil {
+					r.probe.TaskFinished(t.name, Canceled, nil)
+				}
 				continue
 			}
-			if !ready || !fits(t) {
+			if !ready {
+				continue
+			}
+			if !t.readyObserved {
+				t.readyObserved = true
+				if r.probe != nil {
+					r.probe.TaskReady(t.name)
+				}
+			}
+			if !fits(t) {
+				if r.probe != nil {
+					if res, need, avail := bottleneck(t); res != t.blockedOn {
+						t.blockedOn = res
+						r.probe.TaskBlocked(t.name, res, need, avail)
+					}
+				}
 				continue
 			}
 			if t.condition != nil && !t.condition() {
 				t.state = Skipped
 				pending--
 				launched = true
+				if r.probe != nil {
+					r.probe.TaskFinished(t.name, Skipped, nil)
+				}
 				continue
 			}
-			for res, amt := range t.resources {
-				available[res] -= amt
+			for _, res := range sortedResources(t.resources) {
+				available[res] -= t.resources[res]
 			}
 			t.state = Running
+			t.blockedOn = ""
 			running++
 			launched = true
+			if r.probe != nil {
+				r.probe.TaskStarted(t.name)
+			}
 			go func(t *Task) {
 				err := t.action()
 				mu.Lock()
@@ -216,8 +289,11 @@ func (r *Runner) Run() error {
 				} else {
 					t.state = Succeeded
 				}
-				for res, amt := range t.resources {
-					available[res] += amt
+				if r.probe != nil {
+					r.probe.TaskFinished(t.name, t.state, err)
+				}
+				for _, res := range sortedResources(t.resources) {
+					available[res] += t.resources[res]
 				}
 				running--
 				cond.Broadcast()
@@ -237,6 +313,9 @@ func (r *Runner) Run() error {
 		}
 	}
 	mu.Unlock()
+	if r.probe != nil {
+		r.probe.RunFinished()
+	}
 
 	var errs []error
 	for _, t := range r.tasks {

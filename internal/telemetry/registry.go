@@ -51,6 +51,11 @@ func newRegistry() *Registry {
 	return &Registry{index: make(map[string]*metric)}
 }
 
+// NewRegistry returns an empty standalone registry for aggregation layers —
+// the sweep monitor publishes fleet-level metrics through the same sorted,
+// byte-stable exposition paths without owning a Telemetry instance.
+func NewRegistry() *Registry { return newRegistry() }
+
 func (r *Registry) register(name, comp string, vc int, kind Kind, scale float64) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
