@@ -4,8 +4,11 @@
 #                  (which include the fuzz seed corpora and golden-trace
 #                  conformance runs), and the race detector over every package
 #   make lint    - sslint, the simulator-aware static analysis suite
-#                  (determinism, hotpath, probeguard, factoryreg; see
-#                  cmd/sslint and TESTING.md)
+#                  (determinism, hotpath, probeguard, factoryreg,
+#                  snapshotcomplete, shardsafety; see cmd/sslint and
+#                  TESTING.md). Runs the fixture self-check first, then the
+#                  repo, and writes the findings artifact sslint.findings.json
+#   make lint-rules - list the active sslint rules with their one-line docs
 #   make cover   - per-package statement coverage against the committed floors
 #                  in coverage_floors.txt
 #   make test-import-export - checkpoint/restore equivalence under -race: the
@@ -32,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz ci test-import-export bench micro bench-guard bench-guard-spans bench-parallel sweep-smoke
+.PHONY: all build vet lint lint-rules test race cover fuzz ci test-import-export bench micro bench-guard bench-guard-spans bench-parallel sweep-smoke
 
 all: ci
 
@@ -43,10 +46,18 @@ vet:
 	$(GO) vet ./...
 
 # Simulator-aware static analysis: determinism, hot-path allocation
-# discipline, probe hygiene and factory-registration coverage. The baseline
-# file holds accepted findings (currently none); stale entries fail the run.
+# discipline, probe hygiene, factory-registration coverage, snapshot
+# completeness and shard safety. The fixture self-check replays the
+# want-comment fixture packages so a drifted rule fails here, not just in
+# `go test`; the repo run then writes its findings as a JSON artifact for CI
+# consumption. The baseline file holds accepted findings (currently none);
+# stale entries fail the run.
 lint:
-	$(GO) run ./cmd/sslint -baseline sslint.baseline ./...
+	$(GO) run ./cmd/sslint -fixtures
+	$(GO) run ./cmd/sslint -baseline sslint.baseline -json-out sslint.findings.json ./...
+
+lint-rules:
+	$(GO) run ./cmd/sslint -list-rules
 
 test:
 	$(GO) test ./...

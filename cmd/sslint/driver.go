@@ -29,9 +29,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule subset (default: all rules + directive hygiene)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.String("json-out", "", "also write the findings as a JSON artifact to this file")
 	baselinePath := fs.String("baseline", "", "baseline file of accepted findings; stale entries fail the run")
+	listRules := fs.Bool("list-rules", false, "print the active rules with their one-line docs and exit")
+	fixtures := fs.Bool("fixtures", false, "replay the want-comment fixture packages as a self-check and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listRules {
+		printRules(stdout)
+		return 0
+	}
+	if *fixtures {
+		return runFixtures(stdout, stderr)
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "sslint: no packages given (try ./...)")
@@ -108,6 +118,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d.String())
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSONFile(*jsonOut, diags); err != nil {
+			fmt.Fprintf(stderr, "sslint: %v\n", err)
+			return 2
+		}
+	}
 	if len(stale) > 0 {
 		fmt.Fprintf(stderr, "sslint: %d stale baseline entr%s — the finding no longer exists, remove the line:\n",
 			len(stale), plural(len(stale), "y", "ies"))
@@ -120,6 +136,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sslint: %d finding%s\n", len(diags), plural(len(diags), "", "s"))
 		return 1
 	}
+	return 0
+}
+
+// printRules lists every selectable rule plus the always-on directive
+// meta-rule, one line each, for `make lint-rules`.
+func printRules(w io.Writer) {
+	names := append(lint.Rules(), lint.RuleDirective)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-18s %s\n", name, lint.RuleDoc(name))
+	}
+}
+
+// runFixtures replays the shared fixture registry against the repo's own
+// testdata tree: the same runs the internal/lint tests perform, exposed as a
+// CLI self-check so `make lint` fails when a rule drifts from its fixtures.
+func runFixtures(stdout, stderr io.Writer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "sslint: %v\n", err)
+		return 2
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "sslint: %v\n", err)
+		return 2
+	}
+	lintDir := filepath.Join(root, "internal", "lint")
+	if _, err := os.Stat(filepath.Join(lintDir, "testdata", "src")); err != nil {
+		fmt.Fprintf(stderr, "sslint: fixture tree not found under %s — run -fixtures from the sslint repo\n", lintDir)
+		return 2
+	}
+	loader := lint.NewLoader()
+	cache := map[string]*lint.Package{}
+	specs := lint.FixtureSpecs()
+	failed := 0
+	for _, spec := range specs {
+		problems, err := lint.CheckFixture(loader, lintDir, spec, cache)
+		if err != nil {
+			fmt.Fprintf(stderr, "sslint: fixture %s: %v\n", spec.Name, err)
+			return 2
+		}
+		if len(problems) == 0 {
+			continue
+		}
+		failed++
+		for _, pr := range problems {
+			fmt.Fprintf(stderr, "sslint: fixture %s: %s\n", spec.Name, pr)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "sslint: %d of %d fixture runs drifted from their want comments\n", failed, len(specs))
+		return 1
+	}
+	fmt.Fprintf(stdout, "sslint: %d fixture runs ok\n", len(specs))
 	return 0
 }
 
@@ -298,6 +368,19 @@ type jsonDiag struct {
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+}
+
+// writeJSONFile renders the findings artifact for CI consumption.
+func writeJSONFile(path string, diags []lint.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing findings artifact: %w", err)
+	}
+	if err := writeJSON(f, diags); err != nil {
+		f.Close()
+		return fmt.Errorf("writing findings artifact: %w", err)
+	}
+	return f.Close()
 }
 
 func writeJSON(w io.Writer, diags []lint.Diagnostic) error {

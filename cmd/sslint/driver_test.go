@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"supersim/internal/lint"
 )
 
 // runDriver invokes the driver in-process.
@@ -88,6 +90,74 @@ func TestClean(t *testing.T) {
 	code, out, _ = runDriver(t, "-json", "testdata/clean")
 	if code != 0 || strings.TrimSpace(out) != "[]" {
 		t.Fatalf("JSON clean run: exit code = %d (want 0), output %q", code, out)
+	}
+}
+
+func TestJSONOutArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	code, out, _ := runDriver(t, "-json-out", path, "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	// Text findings still go to stdout; the artifact is written alongside.
+	if !strings.Contains(out, "[hotpath]") {
+		t.Errorf("stdout lost the text findings: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("artifact is not a JSON array: %v\n%s", err, data)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("artifact holds %d findings, want 2: %v", len(diags), diags)
+	}
+
+	// A clean run still writes the artifact, as an empty array.
+	code, _, _ = runDriver(t, "-json-out", path, "testdata/clean")
+	if code != 0 {
+		t.Fatalf("clean run exit code = %d, want 0", code)
+	}
+	if data, err = os.ReadFile(path); err != nil || strings.TrimSpace(string(data)) != "[]" {
+		t.Fatalf("clean artifact = %q (err %v), want []", data, err)
+	}
+
+	// An unwritable artifact path is a driver failure, not a silent skip.
+	code, _, errOut := runDriver(t, "-json-out", filepath.Join(t.TempDir(), "no", "such", "dir.json"), "testdata/clean")
+	if code != 2 || !strings.Contains(errOut, "findings artifact") {
+		t.Fatalf("unwritable artifact: exit code = %d (want 2), stderr %q", code, errOut)
+	}
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runDriver(t, "-list-rules")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	want := append(lint.Rules(), lint.RuleDirective)
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i, name := range want {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Errorf("line %d = %q, want rule %q first", i, lines[i], name)
+		}
+		if doc := lint.RuleDoc(name); !strings.Contains(lines[i], doc) {
+			t.Errorf("line %d lacks the doc for %q", i, name)
+		}
+	}
+}
+
+func TestFixturesSelfCheck(t *testing.T) {
+	code, out, errOut := runDriver(t, "-fixtures")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "fixture runs ok") {
+		t.Errorf("stdout = %q, want fixture summary", out)
 	}
 }
 

@@ -133,16 +133,16 @@ func main() {
 		overrides = flag.Args()[1:]
 	}
 	err := run(flag.Arg(0), overrides, runOpts{
-		logPath:       *logPath,
-		quiet:         *quiet,
-		monitor:       *monitor,
-		verify:        *verifyRun,
-		telemetry:     *telemetryOn,
-		telemetryFile: *telemetryFile,
-		telemetryBin:  *telemetryBin,
-		telemetryAddr: *telemetryAddr,
-		tracePath:     *tracePath,
-		traceSample:   *traceSample,
+		logPath:         *logPath,
+		quiet:           *quiet,
+		monitor:         *monitor,
+		verify:          *verifyRun,
+		telemetry:       *telemetryOn,
+		telemetryFile:   *telemetryFile,
+		telemetryBin:    *telemetryBin,
+		telemetryAddr:   *telemetryAddr,
+		tracePath:       *tracePath,
+		traceSample:     *traceSample,
 		spansPath:       *spansPath,
 		spansSample:     *spansSample,
 		workers:         *workers,

@@ -126,6 +126,7 @@ func (sm *Simulation) Snapshot(tick sim.Tick) ([]byte, error) {
 	e.WriteHeader()
 
 	e.Section(secConfig)
+	//sslint:allow snapshotcomplete — the config blob is restored indirectly: Restore re-parses it and rebuilds via Build(cfg), which sets cfg
 	e.Blob([]byte(sm.cfg.JSON()))
 
 	// Partition-independent progress totals: the per-shard split of executed

@@ -1,0 +1,584 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds an intraprocedural control-flow graph at statement
+// granularity. It is the substrate shared by the dataflow analysis in
+// dataflow.go: probeguard and shardsafety both ask "which nil facts hold at
+// this program point?", and the answer is a forward must-analysis over this
+// graph. The builder handles the full statement grammar — if/else chains,
+// all three loop forms, tagged and tagless switches, type switches, select,
+// labeled break/continue, and goto (including the irreducible shapes goto
+// can produce) — because the v1 ancestor-walk heuristics missed exactly the
+// guards that cross those constructs.
+//
+// Design notes:
+//
+//   - Blocks hold statement-level nodes. Compound statements (if, for,
+//     switch, ...) appear as a header node in the block where their
+//     condition is evaluated; their Init statements are appended as ordinary
+//     nodes just before the header, so transfer functions see them.
+//   - Edges carry an optional branch condition plus a polarity: the edge is
+//     taken when the condition evaluates to `when`. The dataflow layer turns
+//     (cond, when) into nil/non-nil facts. Edges from range/select/type-
+//     switch headers and multi-expression case clauses carry no condition.
+//   - panic(...) and the component Panicf/Assert-style helpers recognized by
+//     terminatesStmt end their block with no successors, so facts established
+//     by `if x == nil { panic(...) }` survive to the statements below.
+//   - Function literals are *not* inlined: each FuncLit body gets its own
+//     CFG (see dataflow.go for how its entry facts are seeded).
+
+// cfgNodeRole distinguishes how a statement appears inside a block: as an
+// ordinary statement (full transfer), as a loop/switch header (condition
+// position only, no transfer), or as a range header (per-iteration key/value
+// assignment).
+type cfgNodeRole int
+
+const (
+	roleStmt cfgNodeRole = iota
+	roleHeader
+	roleRangeAssign
+)
+
+// cfgNode is one statement occurrence inside a block.
+type cfgNode struct {
+	stmt ast.Stmt
+	role cfgNodeRole
+}
+
+// cfgEdge is one control transfer. cond is nil for unconditional edges;
+// otherwise the edge is taken when cond evaluates to `when`.
+type cfgEdge struct {
+	to   int
+	cond ast.Expr
+	when bool
+}
+
+// cfgBlock is a basic block: a run of statement nodes with one entry point
+// and a set of outgoing edges.
+type cfgBlock struct {
+	id    int
+	nodes []cfgNode
+	succs []cfgEdge
+	preds []int
+}
+
+// stmtPos locates a statement inside the graph: its block and its node index
+// within that block.
+type stmtPos struct {
+	block int
+	index int
+}
+
+// cfg is the control-flow graph of one function body. Block 0 is the entry.
+type cfg struct {
+	blocks []*cfgBlock
+	// stmtBlock maps each recorded statement to its position. Compound
+	// statements map to their header position.
+	stmtBlock map[ast.Stmt]stmtPos
+}
+
+const cfgEntry = 0
+
+// loopFrame tracks the break/continue targets of an enclosing loop, switch,
+// or select, plus the statement label when the construct is labeled.
+type loopFrame struct {
+	label   string
+	breakTo int
+	contTo  int // -1 when continue does not apply (switch/select)
+	stmt    ast.Stmt
+}
+
+type pendingGoto struct {
+	from  int
+	label string
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	cur    int // current block; -1 after a terminator
+	frames []loopFrame
+	labels map[string]int
+	gotos  []pendingGoto
+	// nextLabel carries the label of a LabeledStmt into the loop/switch it
+	// labels, so labeled break/continue resolve.
+	nextLabel string
+}
+
+// buildCFG constructs the control-flow graph of a function body. The builder
+// is purely syntactic: it needs no type information, which keeps it
+// unit-testable from parsed source snippets.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		g:      &cfg{stmtBlock: map[ast.Stmt]stmtPos{}},
+		labels: map[string]int{},
+	}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	for _, pg := range b.gotos {
+		if to, ok := b.labels[pg.label]; ok {
+			b.edgeFrom(pg.from, cfgEdge{to: to})
+		}
+	}
+	b.computePreds()
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() int {
+	id := len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, &cfgBlock{id: id})
+	return id
+}
+
+// ensureCur makes sure there is a current block to append to, opening a
+// fresh (unreachable) one after a terminator so dead statements still get
+// positions.
+func (b *cfgBuilder) ensureCur() {
+	if b.cur < 0 {
+		b.cur = b.newBlock()
+	}
+}
+
+func (b *cfgBuilder) append(s ast.Stmt, role cfgNodeRole) {
+	b.ensureCur()
+	blk := b.g.blocks[b.cur]
+	b.g.stmtBlock[s] = stmtPos{block: b.cur, index: len(blk.nodes)}
+	blk.nodes = append(blk.nodes, cfgNode{stmt: s, role: role})
+}
+
+func (b *cfgBuilder) edge(e cfgEdge) { b.edgeFrom(b.cur, e) }
+
+func (b *cfgBuilder) edgeFrom(from int, e cfgEdge) {
+	if from < 0 {
+		return
+	}
+	b.g.blocks[from].succs = append(b.g.blocks[from].succs, e)
+}
+
+func (b *cfgBuilder) computePreds() {
+	for _, blk := range b.g.blocks {
+		for _, e := range blk.succs {
+			b.g.blocks[e.to].preds = append(b.g.blocks[e.to].preds, blk.id)
+		}
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.append(s, roleStmt)
+		b.cur = -1
+	default:
+		// Assignments, declarations, expression statements, incdec, defer,
+		// go, send, empty. Calls that provably never return end the block.
+		b.append(s, roleStmt)
+		if terminatesStmt(s) {
+			b.cur = -1
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // labeled if: the label is only a goto target, already bound
+	if s.Init != nil {
+		b.append(s.Init, roleStmt)
+	}
+	b.append(s, roleHeader)
+	condBlock := b.cur
+
+	thenB := b.newBlock()
+	b.edgeFrom(condBlock, cfgEdge{to: thenB, cond: s.Cond, when: true})
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	if s.Else == nil {
+		after := b.newBlock()
+		b.edgeFrom(condBlock, cfgEdge{to: after, cond: s.Cond, when: false})
+		b.edgeFrom(thenEnd, cfgEdge{to: after})
+		b.cur = after
+		return
+	}
+	elseB := b.newBlock()
+	b.edgeFrom(condBlock, cfgEdge{to: elseB, cond: s.Cond, when: false})
+	b.cur = elseB
+	b.stmt(s.Else) // BlockStmt or a chained IfStmt
+	elseEnd := b.cur
+
+	after := b.newBlock()
+	b.edgeFrom(thenEnd, cfgEdge{to: after})
+	b.edgeFrom(elseEnd, cfgEdge{to: after})
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.append(s.Init, roleStmt)
+	}
+	b.ensureCur()
+	header := b.newBlock()
+	b.edge(cfgEdge{to: header})
+	b.cur = header
+	b.append(s, roleHeader)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.edgeFrom(header, cfgEdge{to: body, cond: s.Cond, when: true})
+		b.edgeFrom(header, cfgEdge{to: after, cond: s.Cond, when: false})
+	} else {
+		b.edgeFrom(header, cfgEdge{to: body}) // for {}: after is break-only
+	}
+
+	contTo := header
+	post := -1
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: contTo, stmt: s})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	bodyEnd := b.cur
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if post >= 0 {
+		b.edgeFrom(bodyEnd, cfgEdge{to: post})
+		b.cur = post
+		b.append(s.Post, roleStmt)
+		b.edge(cfgEdge{to: header})
+	} else {
+		b.edgeFrom(bodyEnd, cfgEdge{to: header})
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.ensureCur()
+	header := b.newBlock()
+	b.edge(cfgEdge{to: header})
+	b.cur = header
+	b.append(s, roleRangeAssign)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edgeFrom(header, cfgEdge{to: body})
+	b.edgeFrom(header, cfgEdge{to: after})
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: header, stmt: s})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edgeFrom(b.cur, cfgEdge{to: header})
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.append(s.Init, roleStmt)
+	}
+	b.append(s, roleHeader)
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Pre-create body blocks so fallthrough can target the next clause.
+	bodies := make([]int, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+
+	// A tagless switch with single-expression cases is an if/else chain:
+	// each test block refines the facts with the negation of the previous
+	// cases. Tagged switches and multi-expression cases get fact-free edges.
+	tagless := s.Tag == nil
+	test := head
+	defaultBody := -1
+	for i, cc := range clauses {
+		if len(cc.List) == 0 {
+			defaultBody = bodies[i]
+			continue
+		}
+		if tagless && len(cc.List) == 1 {
+			b.edgeFrom(test, cfgEdge{to: bodies[i], cond: cc.List[0], when: true})
+			next := b.newBlock()
+			b.edgeFrom(test, cfgEdge{to: next, cond: cc.List[0], when: false})
+			test = next
+		} else {
+			b.edgeFrom(test, cfgEdge{to: bodies[i]})
+		}
+	}
+	if defaultBody >= 0 {
+		b.edgeFrom(test, cfgEdge{to: defaultBody})
+	} else {
+		b.edgeFrom(test, cfgEdge{to: after})
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: -1, stmt: s})
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		body, fallsThrough := splitFallthrough(cc.Body)
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edgeFrom(b.cur, cfgEdge{to: bodies[i+1]})
+		} else {
+			b.edgeFrom(b.cur, cfgEdge{to: after})
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// splitFallthrough removes a trailing fallthrough statement from a case body
+// and reports whether one was present.
+func splitFallthrough(body []ast.Stmt) ([]ast.Stmt, bool) {
+	if n := len(body); n > 0 {
+		if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			return body[:n-1], true
+		}
+	}
+	return body, false
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.append(s.Init, roleStmt)
+	}
+	// The assign (`x := y.(type)` or bare `y.(type)`) evaluates in the head.
+	b.append(s.Assign, roleStmt)
+	b.append(s, roleHeader)
+	head := b.cur
+	after := b.newBlock()
+
+	hasDefault := false
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: -1, stmt: s})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		b.edgeFrom(head, cfgEdge{to: body})
+		b.cur = body
+		b.stmtList(cc.Body)
+		b.edgeFrom(b.cur, cfgEdge{to: after})
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edgeFrom(head, cfgEdge{to: after})
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	b.append(s, roleHeader)
+	head := b.cur
+	after := b.newBlock()
+
+	any := false
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: -1, stmt: s})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		body := b.newBlock()
+		b.edgeFrom(head, cfgEdge{to: body})
+		b.cur = body
+		if cc.Comm != nil {
+			b.append(cc.Comm, roleStmt)
+		}
+		b.stmtList(cc.Body)
+		b.edgeFrom(b.cur, cfgEdge{to: after})
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !any {
+		// select {} blocks forever.
+		b.cur = -1
+		return
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	b.ensureCur()
+	target := b.newBlock()
+	b.edge(cfgEdge{to: target})
+	b.labels[s.Label.Name] = target
+	b.cur = target
+	b.nextLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.nextLabel = ""
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.append(s, roleStmt)
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(s.Label, false); f != nil {
+			b.edge(cfgEdge{to: f.breakTo})
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(s.Label, true); f != nil {
+			b.edge(cfgEdge{to: f.contTo})
+		}
+	case token.GOTO:
+		if to, ok := b.labels[s.Label.Name]; ok {
+			b.edge(cfgEdge{to: to})
+		} else {
+			b.ensureCur()
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		}
+	case token.FALLTHROUGH:
+		// Handled by the switch builder; a stray one (inside a nested block)
+		// does not compile, so nothing to do.
+	}
+	b.cur = -1
+}
+
+// findFrame resolves the target of a break/continue, optionally requiring a
+// loop frame (continue never targets a switch/select).
+func (b *cfgBuilder) findFrame(label *ast.Ident, needLoop bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && f.contTo < 0 {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// terminatesStmt reports whether a single statement always transfers control
+// away: a panic call or one of the component panic helpers (Panicf).
+func terminatesStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Panicf"
+}
+
+// dominators computes the dominator sets of every block with the classic
+// iterative intersection algorithm, which is correct on arbitrary graphs —
+// including the irreducible shapes goto produces. doms[b] is the set of
+// blocks (as a bitset indexed by block id) that dominate b. Unreachable
+// blocks keep the full set (vacuously dominated by everything).
+func (c *cfg) dominators() []map[int]bool {
+	n := len(c.blocks)
+	full := func() map[int]bool {
+		m := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			m[i] = true
+		}
+		return m
+	}
+	doms := make([]map[int]bool, n)
+	for i := range doms {
+		doms[i] = full()
+	}
+	doms[cfgEntry] = map[int]bool{cfgEntry: true}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == cfgEntry {
+				continue
+			}
+			var meet map[int]bool
+			for _, p := range c.blocks[i].preds {
+				if meet == nil {
+					meet = map[int]bool{}
+					for k := range doms[p] {
+						meet[k] = true
+					}
+					continue
+				}
+				for k := range meet {
+					if !doms[p][k] {
+						delete(meet, k)
+					}
+				}
+			}
+			if meet == nil {
+				continue // unreachable: keep the full set
+			}
+			meet[i] = true
+			if len(meet) != len(doms[i]) {
+				doms[i] = meet
+				changed = true
+			}
+		}
+	}
+	return doms
+}
+
+// dominates reports whether block a dominates block b.
+func (c *cfg) dominates(a, b int) bool {
+	return c.dominators()[b][a]
+}
+
+// blockOf returns the position of a recorded statement.
+func (c *cfg) blockOf(s ast.Stmt) (stmtPos, bool) {
+	p, ok := c.stmtBlock[s]
+	return p, ok
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromSrc parses a file containing a function f, builds its CFG, and
+// maps each mark("name") call to its block id.
+func buildFromSrc(t *testing.T, fn string) (*cfg, map[string]int) {
+	t.Helper()
+	src := "package p\n\nfunc mark(s string) {}\n\n" + fn
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no func f in source")
+	}
+	g := buildCFG(body)
+	marks := map[string]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "mark" || len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		name := lit.Value[1 : len(lit.Value)-1]
+		pos, ok := g.blockOf(es)
+		if !ok {
+			t.Fatalf("mark(%q) not recorded in the CFG", name)
+		}
+		marks[name] = pos.block
+		return true
+	})
+	return g, marks
+}
+
+func assertDom(t *testing.T, g *cfg, marks map[string]int, a, b string, want bool) {
+	t.Helper()
+	if got := g.dominates(marks[a], marks[b]); got != want {
+		t.Errorf("dominates(%s, %s) = %v, want %v", a, b, got, want)
+	}
+}
+
+func TestCFGDiamond(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(a bool) {
+	mark("entry")
+	if a {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "then", true)
+	assertDom(t, g, m, "entry", "else", true)
+	assertDom(t, g, m, "entry", "after", true)
+	assertDom(t, g, m, "then", "after", false)
+	assertDom(t, g, m, "else", "after", false)
+	assertDom(t, g, m, "after", "then", false)
+}
+
+func TestCFGLoop(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(n int) {
+	mark("entry")
+	for i := 0; i < n; i++ {
+		mark("body")
+		if i == 3 {
+			mark("brk")
+			break
+		}
+		if i == 2 {
+			continue
+		}
+		mark("tail")
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "body", true)
+	assertDom(t, g, m, "entry", "after", true)
+	assertDom(t, g, m, "body", "tail", true)
+	assertDom(t, g, m, "body", "after", false) // the cond-false exit skips the body
+	assertDom(t, g, m, "brk", "after", false)
+	assertDom(t, g, m, "tail", "body", false) // the back edge re-enters body
+}
+
+// TestCFGIrreducible exercises a two-entry cycle built with goto — the shape
+// structured algorithms reject and the iterative dominator computation must
+// still get right: neither cycle block dominates the other.
+func TestCFGIrreducible(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(a, b, c bool) {
+	mark("entry")
+	if a {
+		goto l2
+	}
+l1:
+	mark("b1")
+	if b {
+		goto l2
+	}
+	goto done
+l2:
+	mark("b2")
+	if c {
+		goto l1
+	}
+done:
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "b1", true)
+	assertDom(t, g, m, "entry", "b2", true)
+	assertDom(t, g, m, "entry", "after", true)
+	assertDom(t, g, m, "b1", "b2", false)
+	assertDom(t, g, m, "b2", "b1", false)
+	assertDom(t, g, m, "b1", "after", false)
+	assertDom(t, g, m, "b2", "after", false)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(x int) {
+	mark("entry")
+	switch x {
+	case 0:
+		mark("zero")
+		fallthrough
+	case 1:
+		mark("one")
+	default:
+		mark("dflt")
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "one", true)
+	assertDom(t, g, m, "zero", "one", false) // case 1 is reachable directly too
+	assertDom(t, g, m, "one", "after", false)
+	assertDom(t, g, m, "dflt", "after", false)
+	// Fallthrough edge exists: zero's block must reach one's block.
+	found := false
+	for _, e := range g.blocks[m["zero"]].succs {
+		if e.to == m["one"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no fallthrough edge from case 0 to case 1")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(xs []int) {
+	mark("entry")
+outer:
+	for _, x := range xs {
+		mark("obody")
+		for {
+			mark("ibody")
+			if x > 0 {
+				continue outer
+			}
+			break outer
+		}
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "after", true)
+	assertDom(t, g, m, "obody", "ibody", true)
+	assertDom(t, g, m, "ibody", "after", false)
+	// `for {}` with a labeled break: after is reachable (has predecessors).
+	if len(g.blocks[m["after"]].preds) == 0 {
+		t.Error("labeled break did not wire an edge to the loop exit")
+	}
+}
+
+func TestCFGSelectAndTypeSwitch(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(ch chan int, v any) {
+	mark("entry")
+	select {
+	case x := <-ch:
+		mark("recv")
+		_ = x
+	default:
+		mark("none")
+	}
+	switch v.(type) {
+	case int:
+		mark("int")
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "recv", true)
+	assertDom(t, g, m, "recv", "after", false)
+	assertDom(t, g, m, "none", "after", false)
+	assertDom(t, g, m, "int", "after", false)
+	assertDom(t, g, m, "entry", "after", true)
+}
+
+func TestCFGTerminators(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(a bool) int {
+	mark("entry")
+	if a {
+		mark("ret")
+		return 1
+	}
+	panic("no")
+	mark("dead")
+	return 0
+}`)
+	// The return and panic blocks have no successors.
+	for _, name := range []string{"ret"} {
+		if n := len(g.blocks[m[name]].succs); n != 0 {
+			t.Errorf("%s block has %d successors, want 0", name, n)
+		}
+	}
+	// Dead code lands in an unreachable block, vacuously dominated by all.
+	if len(g.blocks[m["dead"]].preds) != 0 {
+		t.Error("statements after panic should be unreachable")
+	}
+	assertDom(t, g, m, "ret", "dead", true) // vacuous: dead is unreachable
+}
+
+func TestCFGInfiniteLoopBreakOnly(t *testing.T) {
+	g, m := buildFromSrc(t, `
+func f(a bool) {
+	mark("entry")
+	for {
+		mark("body")
+		if a {
+			break
+		}
+	}
+	mark("after")
+}`)
+	assertDom(t, g, m, "entry", "body", true)
+	assertDom(t, g, m, "body", "after", true) // only exit is the break inside body
+}

@@ -1,0 +1,573 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the forward nil-facts dataflow analysis over the CFG
+// in cfg.go. A fact is "expression key K is definitely non-nil here" or
+// "definitely nil here"; keys are the canonical renderings from guards.go.
+// The analysis is a must-analysis: a fact survives a join only when it holds
+// on every incoming path, which is exactly the dominance property probeguard
+// needs ("every path to this probe call passed a nil check") and shardsafety
+// needs ("every path to this write established remote == nil").
+//
+// Facts come from three sources:
+//
+//   - branch edges: the CFG records (cond, polarity) on if/for/switch edges,
+//     and condFacts extracts x != nil / x == nil conjuncts, following
+//     short-circuit structure and inlining single-return guard helpers from
+//     the same package;
+//   - assignments: `x := y` copies y's facts to x, `x := nil` and `var x *T`
+//     set the nil fact, `x := &T{...}` / new/make set the non-nil fact, and
+//     every assignment kills stale facts about the target and its selector/
+//     index extensions;
+//   - intra-statement short-circuit: for a node inside `x != nil && x.M()`,
+//     factsAt composes the left operand's facts on top of the statement-
+//     entry facts.
+//
+// Method calls deliberately do not kill receiver facts (matching the v1
+// syntactic analysis): a probe field does not become nil because an
+// unrelated method ran. That is unsound in general and right for this
+// codebase, where probes and remote ports are wired once at construction.
+
+// nilFacts is a set of nil/non-nil facts keyed by canonical expression
+// rendering. The nil *nilFacts value represents ⊤ (unreachable / unvisited):
+// every fact holds vacuously.
+type nilFacts struct {
+	nonnil map[string]bool
+	isnil  map[string]bool
+}
+
+func newFacts() *nilFacts {
+	return &nilFacts{nonnil: map[string]bool{}, isnil: map[string]bool{}}
+}
+
+func cloneFacts(f *nilFacts) *nilFacts {
+	if f == nil {
+		return nil
+	}
+	c := newFacts()
+	for k := range f.nonnil {
+		c.nonnil[k] = true
+	}
+	for k := range f.isnil {
+		c.isnil[k] = true
+	}
+	return c
+}
+
+// meetFacts intersects b into a and reports whether a changed. A nil a is ⊤.
+func meetFacts(a, b *nilFacts) (*nilFacts, bool) {
+	if a == nil {
+		return cloneFacts(b), true
+	}
+	if b == nil {
+		return a, false
+	}
+	changed := false
+	for k := range a.nonnil {
+		if !b.nonnil[k] {
+			delete(a.nonnil, k)
+			changed = true
+		}
+	}
+	for k := range a.isnil {
+		if !b.isnil[k] {
+			delete(a.isnil, k)
+			changed = true
+		}
+	}
+	return a, changed
+}
+
+// killKey removes every fact about key k and about expressions rooted in it
+// (k.f, k[i], ...): once k is reassigned, nothing derived from its old value
+// is known.
+func (f *nilFacts) killKey(k string) {
+	if f == nil || k == "" || k == "_" {
+		return
+	}
+	kill := func(m map[string]bool) {
+		for key := range m {
+			if key == k || strings.HasPrefix(key, k+".") || strings.HasPrefix(key, k+"[") {
+				delete(m, key)
+			}
+		}
+	}
+	kill(f.nonnil)
+	kill(f.isnil)
+}
+
+// substKey rewrites a key from a guard helper's namespace into the caller's:
+// the helper parameter (or receiver) name maps to the argument's key.
+func substKey(k string, subst map[string]string) string {
+	if len(subst) == 0 {
+		return k
+	}
+	for name, repl := range subst {
+		if k == name {
+			return repl
+		}
+		if strings.HasPrefix(k, name+".") || strings.HasPrefix(k, name+"[") {
+			return repl + k[len(name):]
+		}
+	}
+	return k
+}
+
+// condFacts adds to f the facts implied by cond evaluating to `when`. subst
+// rewrites keys when cond comes from an inlined guard helper; depth bounds
+// helper nesting.
+func condFacts(p *Package, cond ast.Expr, when bool, f *nilFacts, subst map[string]string, depth int) {
+	if f == nil || cond == nil {
+		return
+	}
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		condFacts(p, c.X, when, f, subst, depth)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			condFacts(p, c.X, !when, f, subst, depth)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case c.Op == token.LAND && when:
+			condFacts(p, c.X, true, f, subst, depth)
+			condFacts(p, c.Y, true, f, subst, depth)
+		case c.Op == token.LOR && !when:
+			condFacts(p, c.X, false, f, subst, depth)
+			condFacts(p, c.Y, false, f, subst, depth)
+		case c.Op == token.NEQ || c.Op == token.EQL:
+			k, ok := nilComparand(c)
+			if !ok || k == "" {
+				return
+			}
+			k = substKey(k, subst)
+			if (c.Op == token.NEQ) == when {
+				f.nonnil[k] = true
+			} else {
+				f.isnil[k] = true
+			}
+		}
+	case *ast.CallExpr:
+		if depth >= 2 {
+			return
+		}
+		ret, inner := p.inlinableGuard(c, subst)
+		if ret != nil {
+			condFacts(p, ret, when, f, inner, depth+1)
+		}
+	}
+}
+
+// inlinableGuard resolves a call to a same-package guard helper whose body is
+// a single `return <expr>`, returning the result expression and the key
+// substitution mapping helper parameter/receiver names to argument keys.
+// outer is the substitution active at the call site (for nested helpers).
+func (p *Package) inlinableGuard(call *ast.CallExpr, outer map[string]string) (ast.Expr, map[string]string) {
+	var obj *types.Func
+	var recvExpr ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			obj = fn
+		}
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				obj = fn
+				recvExpr = fun.X
+			}
+		}
+	}
+	if obj == nil || obj.Pkg() != p.Pkg {
+		return nil, nil
+	}
+	fd := p.funcDeclOf(obj)
+	if fd == nil || fd.Body == nil || len(fd.Body.List) != 1 {
+		return nil, nil
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil, nil
+	}
+	subst := map[string]string{}
+	if recvExpr != nil {
+		if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+			return nil, nil
+		}
+		rk, ok := exprKey(recvExpr)
+		if !ok {
+			return nil, nil
+		}
+		subst[fd.Recv.List[0].Names[0].Name] = substKey(rk, outer)
+	}
+	// Map parameters positionally; bail on variadics and signature shapes we
+	// cannot line up with the arguments.
+	var params []*ast.Ident
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			if _, variadic := fld.Type.(*ast.Ellipsis); variadic {
+				return nil, nil
+			}
+			params = append(params, fld.Names...)
+		}
+	}
+	if len(params) != len(call.Args) {
+		return nil, nil
+	}
+	for i, prm := range params {
+		ak, ok := exprKey(call.Args[i])
+		if !ok {
+			continue // the parameter's facts just won't map back
+		}
+		subst[prm.Name] = substKey(ak, outer)
+	}
+	return ret.Results[0], subst
+}
+
+// funcDeclOf returns the declaration of a package-level function or method
+// object, building the index lazily.
+func (p *Package) funcDeclOf(obj types.Object) *ast.FuncDecl {
+	if p.fdecls == nil {
+		p.fdecls = map[types.Object]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if o := p.Info.Defs[fd.Name]; o != nil {
+					p.fdecls[o] = fd
+				}
+			}
+		}
+	}
+	return p.fdecls[obj]
+}
+
+// funcAnalysis holds the fixpoint solution for one function body.
+type funcAnalysis struct {
+	p    *Package
+	body *ast.BlockStmt
+	g    *cfg
+	in   []*nilFacts // facts at each block entry; nil = unreachable (⊤)
+}
+
+// analyzeBody runs the nil-facts fixpoint over a function body. seed holds
+// the facts valid at entry (used to seed closures with the facts at their
+// creation point); nil means no facts.
+func analyzeBody(p *Package, body *ast.BlockStmt, seed *nilFacts) *funcAnalysis {
+	g := buildCFG(body)
+	fa := &funcAnalysis{p: p, body: body, g: g, in: make([]*nilFacts, len(g.blocks))}
+	if seed == nil {
+		seed = newFacts()
+	}
+	fa.in[cfgEntry] = cloneFacts(seed)
+
+	work := []int{cfgEntry}
+	queued := map[int]bool{cfgEntry: true}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		queued[id] = false
+		blk := g.blocks[id]
+		out := cloneFacts(fa.in[id])
+		for _, nd := range blk.nodes {
+			fa.transferNode(nd, out)
+		}
+		for _, e := range blk.succs {
+			ef := cloneFacts(out)
+			if e.cond != nil {
+				condFacts(p, e.cond, e.when, ef, nil, 0)
+			}
+			merged, changed := meetFacts(fa.in[e.to], ef)
+			fa.in[e.to] = merged
+			if changed && !queued[e.to] {
+				queued[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return fa
+}
+
+// transferNode applies one block node's effect to the facts in place.
+func (fa *funcAnalysis) transferNode(nd cfgNode, f *nilFacts) {
+	if f == nil {
+		return
+	}
+	switch nd.role {
+	case roleHeader:
+		return
+	case roleRangeAssign:
+		rs := nd.stmt.(*ast.RangeStmt)
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if e != nil {
+				if k, ok := exprKey(e); ok {
+					f.killKey(k)
+				}
+			}
+		}
+		return
+	}
+	switch s := nd.stmt.(type) {
+	case *ast.AssignStmt:
+		fa.transferAssign(s, f)
+	case *ast.IncDecStmt:
+		if k, ok := exprKey(s.X); ok {
+			f.killKey(k)
+		}
+	case *ast.DeclStmt:
+		fa.transferDecl(s, f)
+	}
+}
+
+func (fa *funcAnalysis) transferAssign(s *ast.AssignStmt, f *nilFacts) {
+	if len(s.Lhs) == len(s.Rhs) {
+		// Classify right-hand sides against the pre-assignment facts, then
+		// kill and install — this keeps `x = x.next` correct.
+		type rhsInfo struct{ nonnil, isnil bool }
+		infos := make([]rhsInfo, len(s.Rhs))
+		for i, r := range s.Rhs {
+			infos[i] = fa.classifyRHS(r, f)
+		}
+		for i, l := range s.Lhs {
+			k, ok := exprKey(l)
+			if !ok || k == "_" {
+				continue
+			}
+			f.killKey(k)
+			if infos[i].nonnil {
+				f.nonnil[k] = true
+			}
+			if infos[i].isnil {
+				f.isnil[k] = true
+			}
+		}
+		return
+	}
+	for _, l := range s.Lhs {
+		if k, ok := exprKey(l); ok {
+			f.killKey(k)
+		}
+	}
+}
+
+func (fa *funcAnalysis) classifyRHS(r ast.Expr, f *nilFacts) (info struct{ nonnil, isnil bool }) {
+	for {
+		if pr, ok := r.(*ast.ParenExpr); ok {
+			r = pr.X
+			continue
+		}
+		break
+	}
+	if isNilIdent(r) {
+		info.isnil = true
+		return
+	}
+	switch x := r.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			info.nonnil = true
+		}
+		return
+	case *ast.CompositeLit:
+		info.nonnil = true
+		return
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if b, ok := fa.p.Info.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "new" || b.Name() == "make" {
+					info.nonnil = true
+				}
+			}
+		}
+		return
+	}
+	if k, ok := exprKey(r); ok {
+		info.nonnil = f.nonnil[k]
+		info.isnil = f.isnil[k]
+	}
+	return
+}
+
+func (fa *funcAnalysis) transferDecl(s *ast.DeclStmt, f *nilFacts) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 0 {
+			// var x *T / var x I: the zero value of a nilable type is nil.
+			nilable := false
+			if vs.Type != nil {
+				if t := fa.p.TypeOf(vs.Type); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Pointer, *types.Interface, *types.Map,
+						*types.Slice, *types.Chan, *types.Signature:
+						nilable = true
+					}
+				}
+			}
+			for _, name := range vs.Names {
+				f.killKey(name.Name)
+				if nilable {
+					f.isnil[name.Name] = true
+				}
+			}
+			continue
+		}
+		if len(vs.Values) == len(vs.Names) {
+			for i, name := range vs.Names {
+				info := fa.classifyRHS(vs.Values[i], f)
+				f.killKey(name.Name)
+				if info.nonnil {
+					f.nonnil[name.Name] = true
+				}
+				if info.isnil {
+					f.isnil[name.Name] = true
+				}
+			}
+			continue
+		}
+		for _, name := range vs.Names {
+			f.killKey(name.Name)
+		}
+	}
+}
+
+// factsAt returns the facts valid just before n executes: the entry facts of
+// n's block, composed with the transfers of the preceding statements in the
+// block and with the short-circuit facts of any enclosing && / || whose
+// right operand contains n. A nil result means n is unreachable.
+func (fa *funcAnalysis) factsAt(n ast.Node) *nilFacts {
+	var s ast.Stmt
+	for c := n; c != nil; c = fa.p.Parent(c) {
+		if st, ok := c.(ast.Stmt); ok {
+			if _, recorded := fa.g.stmtBlock[st]; recorded {
+				s = st
+				break
+			}
+		}
+		if c == ast.Node(fa.body) {
+			break
+		}
+	}
+	if s == nil {
+		return newFacts()
+	}
+	pos := fa.g.stmtBlock[s]
+	f := cloneFacts(fa.in[pos.block])
+	if f == nil {
+		return nil // unreachable: every fact holds vacuously
+	}
+	for i := 0; i < pos.index; i++ {
+		fa.transferNode(fa.g.blocks[pos.block].nodes[i], f)
+	}
+	for child := n; child != ast.Node(s); {
+		par := fa.p.Parent(child)
+		if par == nil {
+			break
+		}
+		if be, ok := par.(*ast.BinaryExpr); ok && be.Y == child {
+			switch be.Op {
+			case token.LAND:
+				condFacts(fa.p, be.X, true, f, nil, 0)
+			case token.LOR:
+				condFacts(fa.p, be.X, false, f, nil, 0)
+			}
+		}
+		child = par
+	}
+	return f
+}
+
+// anyNonNil reports whether any of the keys is known non-nil. A nil facts
+// value (unreachable code) answers true for everything.
+func (f *nilFacts) anyNonNil(keys []string) bool {
+	if f == nil {
+		return true
+	}
+	for _, k := range keys {
+		if f.nonnil[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// knownNil reports whether the key is known nil. A nil facts value
+// (unreachable code) answers true.
+func (f *nilFacts) knownNil(key string) bool {
+	return f == nil || f.isnil[key]
+}
+
+// bodyAnalyses lazily runs and caches the dataflow analysis per function
+// body within one package, seeding each function literal's entry with the
+// facts at its creation point (closures capture their environment; the v1
+// ancestor walk crossed literal boundaries the same way).
+type bodyAnalyses struct {
+	p *Package
+	m map[*ast.BlockStmt]*funcAnalysis
+}
+
+func newBodyAnalyses(p *Package) *bodyAnalyses {
+	return &bodyAnalyses{p: p, m: map[*ast.BlockStmt]*funcAnalysis{}}
+}
+
+// forNode returns the analysis of the innermost function body enclosing n,
+// or nil when n is not inside a function body.
+func (ba *bodyAnalyses) forNode(n ast.Node) *funcAnalysis {
+	for c := ba.p.Parent(n); c != nil; c = ba.p.Parent(c) {
+		switch fn := c.(type) {
+		case *ast.FuncLit:
+			return ba.forBody(fn.Body, fn)
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return nil
+			}
+			return ba.forBody(fn.Body, nil)
+		}
+	}
+	return nil
+}
+
+func (ba *bodyAnalyses) forBody(body *ast.BlockStmt, lit *ast.FuncLit) *funcAnalysis {
+	if fa, ok := ba.m[body]; ok {
+		return fa
+	}
+	var seed *nilFacts
+	if lit != nil {
+		if outer := ba.forNode(lit); outer != nil {
+			seed = outer.factsAt(lit)
+		}
+		// Parameters and results shadow captured names.
+		if seed != nil {
+			killFieldListKeys(seed, lit.Type.Params)
+			killFieldListKeys(seed, lit.Type.Results)
+		}
+	}
+	fa := analyzeBody(ba.p, body, seed)
+	ba.m[body] = fa
+	return fa
+}
+
+func killFieldListKeys(f *nilFacts, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		for _, name := range fld.Names {
+			f.killKey(name.Name)
+		}
+	}
+}

@@ -8,9 +8,10 @@ import (
 )
 
 const (
-	allowPrefix   = "//sslint:allow"
-	hotpathMarker = "//sslint:hotpath"
-	anyPrefix     = "//sslint:"
+	allowPrefix      = "//sslint:allow"
+	hotpathMarker    = "//sslint:hotpath"
+	nosnapshotPrefix = "//sslint:nosnapshot"
+	anyPrefix        = "//sslint:"
 )
 
 // allowDirective is one parsed //sslint:allow for one rule. A single comment
@@ -40,11 +41,41 @@ func (a *allowDirective) matches(d Diagnostic) bool {
 	return a.scopeStart != 0 && a.scopeStart <= d.Pos.Line && d.Pos.Line <= a.scopeEnd
 }
 
+// nosnapshotDirective is one parsed //sslint:nosnapshot: a declaration that
+// the struct field on its line (or the line below, for a comment above the
+// field) is genuinely ephemeral and exempt from snapshot-completeness.
+type nosnapshotDirective struct {
+	file string
+	line int
+	pos  token.Position
+	used bool
+}
+
+// coversLine reports whether the directive applies to a field declared at
+// the given position: the directive sits on the field's line (trailing
+// comment) or the line above it.
+func (n *nosnapshotDirective) coversLine(file string, line int) bool {
+	return n.file == file && (n.line == line || n.line == line-1)
+}
+
 // directives holds one package's parsed //sslint: comments.
 type directives struct {
-	hotpath  []*ast.FuncDecl
-	allows   []*allowDirective
-	problems []Diagnostic // malformed directives, reported under RuleDirective
+	hotpath     []*ast.FuncDecl
+	allows      []*allowDirective
+	nosnapshots []*nosnapshotDirective
+	problems    []Diagnostic // malformed directives, reported under RuleDirective
+}
+
+// nosnapshotFor returns the directive covering a field at the position, if
+// any, marking it used.
+func (d *directives) nosnapshotFor(pos token.Position) *nosnapshotDirective {
+	for _, n := range d.nosnapshots {
+		if n.coversLine(pos.Filename, pos.Line) {
+			n.used = true
+			return n
+		}
+	}
+	return nil
 }
 
 // parseDirectives scans every comment of the package for //sslint: markers.
@@ -82,6 +113,8 @@ func parseDirectives(p *Package) *directives {
 					d.hotpath = append(d.hotpath, fd)
 				case strings.HasPrefix(text, allowPrefix+" "):
 					d.parseAllow(p, c, docOwner[c], pos)
+				case text == nosnapshotPrefix || strings.HasPrefix(text, nosnapshotPrefix+" "):
+					d.parseNosnapshot(c, pos)
 				default:
 					d.problems = append(d.problems, Diagnostic{
 						Rule: RuleDirective, Pos: pos,
@@ -107,8 +140,17 @@ func (d *directives) parseAllow(p *Package, c *ast.Comment, owner *ast.FuncDecl,
 		})
 		return
 	}
+	seen := map[string]bool{}
 	for _, rule := range strings.Split(ruleList, ",") {
 		rule = strings.TrimSpace(rule)
+		if seen[rule] {
+			d.problems = append(d.problems, Diagnostic{
+				Rule: RuleDirective, Pos: pos,
+				Message: fmt.Sprintf("//sslint:allow lists rule %q twice — drop the duplicate", rule),
+			})
+			continue
+		}
+		seen[rule] = true
 		if !KnownRule(rule) {
 			d.problems = append(d.problems, Diagnostic{
 				Rule: RuleDirective, Pos: pos,
@@ -123,6 +165,24 @@ func (d *directives) parseAllow(p *Package, c *ast.Comment, owner *ast.FuncDecl,
 		}
 		d.allows = append(d.allows, a)
 	}
+}
+
+// parseNosnapshot validates one //sslint:nosnapshot comment. Whether it
+// actually sits on a struct field is checked by the snapshotcomplete
+// analyzer (a directive no field claims is reported as unused).
+func (d *directives) parseNosnapshot(c *ast.Comment, pos token.Position) {
+	rest := strings.TrimSpace(strings.TrimPrefix(c.Text, nosnapshotPrefix))
+	justification := strings.TrimSpace(strings.TrimLeft(rest, "—-: \t"))
+	if justification == "" {
+		d.problems = append(d.problems, Diagnostic{
+			Rule: RuleDirective, Pos: pos,
+			Message: "//sslint:nosnapshot requires a justification (why is the field ephemeral?)",
+		})
+		return
+	}
+	d.nosnapshots = append(d.nosnapshots, &nosnapshotDirective{
+		file: pos.Filename, line: pos.Line, pos: pos,
+	})
 }
 
 func firstField(s string) string {

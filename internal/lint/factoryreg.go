@@ -224,14 +224,7 @@ func (p *Package) funcDecl(e ast.Expr) *ast.FuncDecl {
 	if obj == nil {
 		return nil
 	}
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && p.Info.Defs[fd.Name] == obj {
-				return fd
-			}
-		}
-	}
-	return nil
+	return p.funcDeclOf(obj)
 }
 
 // scanReturns collects the concrete types of every return expression in a

@@ -2,25 +2,14 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 )
 
-// This file implements the nil-guard domination analysis shared by the
-// probeguard analyzer: deciding whether a call like n.tp.FlitSent(...) is
-// dominated by a nil check of n.tp. The analysis is syntactic — expressions
-// are compared by a canonical rendering — and walks the AST upward from the
-// call instead of building a CFG, which covers every guard idiom the
-// simulator uses:
-//
-//	if n.tp != nil { n.tp.FlitSent(...) }
-//	if n.sp != nil && n.sp.Tracked(f) { n.sp.Step(...) }
-//	if tp := d.w.tp; tp != nil { tp.MessageDelivered(...) }
-//	if x == nil { return }; ...; x.M()
-//	x == nil || x.M()
-//
-// A nil check of a strict index prefix also counts: a check of b.credLed
-// guards a call on b.credLed[port], because indexing a nil slice cannot be
-// nil-checked directly.
+// This file holds the canonical expression rendering shared by the nil-facts
+// dataflow (dataflow.go) and its clients: deciding whether a guard of
+// expression A covers a use of expression B reduces to comparing canonical
+// keys. A nil check of a strict index prefix also counts: a check of
+// b.credLed guards a call on b.credLed[port], because indexing a nil slice
+// cannot be nil-checked directly — receiverKeys returns both renderings.
 
 // exprKey renders a restricted expression (identifiers, selector chains,
 // index expressions with simple indices, basic literals) as a canonical
@@ -74,44 +63,6 @@ func receiverKeys(e ast.Expr) []string {
 	}
 }
 
-// nonNilWhenTrue returns the keys of expressions known non-nil when cond is
-// true: the conjuncts of the form `x != nil`.
-func nonNilWhenTrue(cond ast.Expr) []string {
-	switch x := cond.(type) {
-	case *ast.ParenExpr:
-		return nonNilWhenTrue(x.X)
-	case *ast.BinaryExpr:
-		switch x.Op {
-		case token.LAND:
-			return append(nonNilWhenTrue(x.X), nonNilWhenTrue(x.Y)...)
-		case token.NEQ:
-			if k, ok := nilComparand(x); ok {
-				return []string{k}
-			}
-		}
-	}
-	return nil
-}
-
-// nonNilWhenFalse returns the keys of expressions known non-nil when cond is
-// false: the disjuncts of the form `x == nil`.
-func nonNilWhenFalse(cond ast.Expr) []string {
-	switch x := cond.(type) {
-	case *ast.ParenExpr:
-		return nonNilWhenFalse(x.X)
-	case *ast.BinaryExpr:
-		switch x.Op {
-		case token.LOR:
-			return append(nonNilWhenFalse(x.X), nonNilWhenFalse(x.Y)...)
-		case token.EQL:
-			if k, ok := nilComparand(x); ok {
-				return []string{k}
-			}
-		}
-	}
-	return nil
-}
-
 // nilComparand extracts the canonical key of the non-nil side of a
 // comparison against the nil literal.
 func nilComparand(b *ast.BinaryExpr) (string, bool) {
@@ -127,87 +78,4 @@ func nilComparand(b *ast.BinaryExpr) (string, bool) {
 func isNilIdent(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == "nil"
-}
-
-// nilGuarded reports whether the node (a probe call) is dominated by a nil
-// check of any of the receiver keys. It walks the ancestor chain looking for
-// guarding if-statements, short-circuit && / || operands, and preceding
-// early-return guards in enclosing blocks.
-func nilGuarded(p *Package, n ast.Node, recvKeys []string) bool {
-	if len(recvKeys) == 0 {
-		return false
-	}
-	hit := func(keys []string) bool {
-		for _, k := range keys {
-			for _, r := range recvKeys {
-				if k == r {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	child := n
-	for anc := p.Parent(child); anc != nil; child, anc = anc, p.Parent(anc) {
-		switch s := anc.(type) {
-		case *ast.BinaryExpr:
-			// x != nil && x.M(...): the call in the right operand runs only
-			// when the left operand held. Dually for x == nil || x.M(...).
-			if s.Y == child {
-				if s.Op == token.LAND && hit(nonNilWhenTrue(s.X)) {
-					return true
-				}
-				if s.Op == token.LOR && hit(nonNilWhenFalse(s.X)) {
-					return true
-				}
-			}
-		case *ast.IfStmt:
-			if s.Body == child && hit(nonNilWhenTrue(s.Cond)) {
-				return true
-			}
-			if s.Else == child && hit(nonNilWhenFalse(s.Cond)) {
-				return true
-			}
-		case *ast.BlockStmt:
-			// Early-return guard: a preceding `if x == nil { return }` (or a
-			// body otherwise terminating) in an enclosing block dominates
-			// everything after it.
-			for _, st := range s.List {
-				if st == child {
-					break
-				}
-				ifs, ok := st.(*ast.IfStmt)
-				if ok && ifs.Else == nil && ifs.Init == nil &&
-					terminates(ifs.Body) && hit(nonNilWhenFalse(ifs.Cond)) {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
-// terminates reports whether a block always transfers control away: its last
-// statement is a return, a panic call, or a loop/branch escape.
-func terminates(b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch last := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		call, ok := last.X.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-			return true
-		}
-		// Component panic helpers (Panicf) also never return.
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Panicf" {
-			return true
-		}
-	}
-	return false
 }

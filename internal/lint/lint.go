@@ -7,7 +7,7 @@
 // the verify subsystem) catches violations after the fact; this package
 // catches them at lint time, as structural properties of the source.
 //
-// Four analyzers encode the repo's invariants:
+// Six analyzers encode the repo's invariants:
 //
 //   - determinism: sim-core packages must not read the wall clock, draw from
 //     the global math/rand source, or let map iteration order feed simulation
@@ -20,14 +20,22 @@
 //   - factoryreg: every concrete implementation of a factory-registered
 //     component interface must be registered in an init(), and registration
 //     names must be unique per registry (FactoryReg).
+//   - snapshotcomplete: the hand-written checkpoint codecs must cover every
+//     mutable field of the structs they serialize — encoded, restored, and
+//     in a consistent order (SnapshotComplete).
+//   - shardsafety: state owned by a destination shard must only be written
+//     from the owning shard's event context; source-side code goes through
+//     the RemotePort seam or a remote == nil guard (ShardSafety).
 //
 // The engine is stdlib-only: packages are loaded with go/parser and
-// type-checked with go/types using importer.ForCompiler's source importer, so
-// no external analysis framework is required.
+// type-checked with go/types using importer.ForCompiler's source importer.
+// Since v2 a shared statement-level CFG (cfg.go) and a nil-facts
+// must-dataflow (dataflow.go) answer the dominance questions probeguard and
+// shardsafety ask; no external analysis framework is required.
 //
 // # Directives
 //
-// Two comment directives steer the analyzers:
+// Three comment directives steer the analyzers:
 //
 //	//sslint:hotpath
 //
@@ -39,6 +47,14 @@
 // or (when placed in a function's doc comment) anywhere in that function.
 // The justification text is mandatory, and an allow that suppresses nothing
 // is itself reported, so suppressions cannot rot.
+//
+//	//sslint:nosnapshot — <justification>
+//
+// on a struct field (same line or the line above) declares the field
+// genuinely ephemeral for the snapshotcomplete analyzer: rebuilt wiring,
+// derived caches, scratch state. The justification is mandatory, and a
+// nosnapshot on a field the codecs do serialize — or on no field at all —
+// is reported.
 package lint
 
 import (
@@ -49,10 +65,12 @@ import (
 
 // Rule names of the shipped analyzers plus the internal directive checker.
 const (
-	RuleDeterminism = "determinism"
-	RuleHotpath     = "hotpath"
-	RuleProbeguard  = "probeguard"
-	RuleFactoryReg  = "factoryreg"
+	RuleDeterminism      = "determinism"
+	RuleHotpath          = "hotpath"
+	RuleProbeguard       = "probeguard"
+	RuleFactoryReg       = "factoryreg"
+	RuleSnapshotComplete = "snapshotcomplete"
+	RuleShardSafety      = "shardsafety"
 
 	// RuleDirective reports misuse of the //sslint: directives themselves:
 	// unknown rule names, missing justifications, allows that suppress
@@ -63,7 +81,30 @@ const (
 
 // Rules returns the names of the selectable analyzers, sorted.
 func Rules() []string {
-	return []string{RuleDeterminism, RuleFactoryReg, RuleHotpath, RuleProbeguard}
+	return []string{RuleDeterminism, RuleFactoryReg, RuleHotpath, RuleProbeguard,
+		RuleShardSafety, RuleSnapshotComplete}
+}
+
+// RuleDoc returns a one-line description of a rule, for `sslint -list-rules`
+// and the make lint-rules target.
+func RuleDoc(name string) string {
+	switch name {
+	case RuleDeterminism:
+		return "sim-core code must not read the wall clock, draw global randomness, iterate maps into state, or spawn ad-hoc concurrency"
+	case RuleHotpath:
+		return "//sslint:hotpath functions must be free of syntactic allocation sources"
+	case RuleProbeguard:
+		return "probe/ledger method calls must be dominated by a nil check of the receiver (CFG dataflow)"
+	case RuleFactoryReg:
+		return "every concrete factory component must be registered in an init() under a unique name"
+	case RuleSnapshotComplete:
+		return "checkpoint codecs must cover every mutable field symmetrically: encoded, restored, and in the same order"
+	case RuleShardSafety:
+		return "destination-shard state must only be touched by the owning shard; cross-shard writes go through the RemotePort seam"
+	case RuleDirective:
+		return "//sslint: directives must be well-formed, justified, and in active use"
+	}
+	return ""
 }
 
 // KnownRule reports whether name identifies a selectable analyzer.
@@ -88,6 +129,10 @@ func NewAnalyzer(name string) (Analyzer, error) {
 		return NewProbeguard(), nil
 	case RuleFactoryReg:
 		return NewFactoryReg(), nil
+	case RuleSnapshotComplete:
+		return NewSnapshotComplete(), nil
+	case RuleShardSafety:
+		return NewShardSafety(), nil
 	}
 	return nil, fmt.Errorf("lint: unknown rule %q (have %v)", name, Rules())
 }
@@ -194,6 +239,27 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 					Message: fmt.Sprintf(
 						"//sslint:allow %s suppresses nothing — remove it", a.rule),
 				})
+			}
+		}
+		// A nosnapshot no field claimed is rot — but only the
+		// snapshotcomplete analyzer marks them used, so only a run that
+		// includes it can tell.
+		ranSnapshot := false
+		for _, a := range r.Analyzers {
+			if a.Name() == RuleSnapshotComplete {
+				ranSnapshot = true
+			}
+		}
+		if ranSnapshot {
+			for _, p := range pkgs {
+				for _, n := range p.directives.nosnapshots {
+					if !n.used {
+						diags = append(diags, Diagnostic{
+							Rule: RuleDirective, Pos: n.pos,
+							Message: "//sslint:nosnapshot does not cover any audited struct field — remove it",
+						})
+					}
+				}
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package lint
 
 import (
-	"path/filepath"
-	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -24,148 +22,39 @@ func loadFixture(t *testing.T, name, importPath string) *Package {
 	if loader == nil {
 		loader = NewLoader()
 	}
-	if p, ok := pkgCache[importPath]; ok {
-		return p
-	}
-	p, err := loader.Load(filepath.Join("testdata", "src", name), importPath)
+	p, err := LoadFixture(loader, ".", FixtureSpec{Dir: name, ImportPath: importPath}, pkgCache)
 	if err != nil {
-		t.Fatalf("loading fixture %s as %s: %v", name, importPath, err)
+		t.Fatal(err)
 	}
-	pkgCache[importPath] = p
 	return p
 }
 
-// want comments mark expected diagnostics in fixture files:
-//
-//	for k := range m { // want `map iteration order`
-//
-// Each backquoted string is a regexp that must match a diagnostic rendered as
-// "message [rule]" on the comment's line, and every diagnostic must match
-// some want.
-var (
-	wantRE     = regexp.MustCompile("want ((?:`[^`]*`)(?:\\s+`[^`]*`)*)")
-	wantItemRE = regexp.MustCompile("`[^`]*`")
-)
-
-type want struct {
-	line int
-	re   *regexp.Regexp
-	hit  bool
-}
-
-func collectWants(t *testing.T, p *Package) []*want {
-	t.Helper()
-	var wants []*want
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				line := p.Position(c.Pos()).Line
-				for _, item := range wantItemRE.FindAllString(m[1], -1) {
-					re, err := regexp.Compile(item[1 : len(item)-1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %s: %v", p.ImportPath, line, item, err)
-					}
-					wants = append(wants, &want{line: line, re: re})
-				}
+// TestFixtures replays the shared registry — the same runs `sslint
+// -fixtures` performs — so the tests and the self-check can never disagree
+// about what the fixtures mean.
+func TestFixtures(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range FixtureSpecs() {
+		if spec.Name == "" || seen[spec.Name] {
+			t.Fatalf("fixture spec name %q is empty or duplicated", spec.Name)
+		}
+		seen[spec.Name] = true
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			loaderMu.Lock()
+			defer loaderMu.Unlock()
+			if loader == nil {
+				loader = NewLoader()
 			}
-		}
-	}
-	if len(wants) == 0 {
-		t.Fatalf("%s: fixture has no want comments", p.ImportPath)
-	}
-	return wants
-}
-
-// runWantTest runs the analyzers (with directive checking, as the driver
-// does) and matches the surviving diagnostics against the fixture's want
-// comments in both directions.
-func runWantTest(t *testing.T, p *Package, analyzers []Analyzer) {
-	t.Helper()
-	r := &Runner{Analyzers: analyzers, CheckDirectives: true}
-	diags := r.Run([]*Package{p})
-	if len(diags) == 0 {
-		t.Fatalf("%s: analyzers produced no diagnostics at all — the rule is vacuous", p.ImportPath)
-	}
-	wants := collectWants(t, p)
-	for _, d := range diags {
-		text := d.Message + " [" + d.Rule + "]"
-		matched := false
-		for _, w := range wants {
-			if w.line == d.Pos.Line && w.re.MatchString(text) {
-				w.hit = true
-				matched = true
+			problems, err := CheckFixture(loader, ".", spec, pkgCache)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
-		}
+			for _, pr := range problems {
+				t.Error(pr)
+			}
+		})
 	}
-	for _, w := range wants {
-		if !w.hit {
-			t.Errorf("%s: no diagnostic matching %q on line %d", p.ImportPath, w.re, w.line)
-		}
-	}
-}
-
-func TestDeterminismFixture(t *testing.T) {
-	// Loaded under a sim-core import path: the fixture plays an internal/sim
-	// subpackage.
-	p := loadFixture(t, "determinism", "supersim/internal/sim/lintfixture")
-	runWantTest(t, p, []Analyzer{NewDeterminism()})
-}
-
-func TestDeterminismCoversSnapshotPackage(t *testing.T) {
-	// Snapshot encode/decode is byte-compared by the import/export
-	// equivalence tests, so the codec package is sim-core for the
-	// determinism rule: the fixture loaded under its import path must
-	// produce the same diagnostics as under internal/sim.
-	p := loadFixture(t, "determinism", "supersim/internal/snapshot/lintfixture")
-	runWantTest(t, p, []Analyzer{NewDeterminism()})
-}
-
-func TestDeterminismOutOfScope(t *testing.T) {
-	// The same files outside the sim-core prefixes produce nothing.
-	p := loadFixture(t, "determinism", "supersim/internal/lint/testdata/src/determinism")
-	if diags := NewDeterminism().Check(p); len(diags) != 0 {
-		t.Fatalf("determinism fired outside sim-core: %v", diags)
-	}
-}
-
-func TestDeterminismCoversTaskrunPackage(t *testing.T) {
-	// The task runner's journals are byte-compared by fixed-clock goldens, so
-	// taskrun is sim-core with two file-scoped seams: clock.go may read the
-	// wall clock and taskrun.go may import sync and launch goroutines.
-	// Everything else in the fixture is flagged as usual.
-	p := loadFixture(t, "taskrun", "supersim/internal/taskrun/lintfixture")
-	runWantTest(t, p, []Analyzer{NewDeterminism()})
-}
-
-func TestDeterminismTaskrunSeamsAreScoped(t *testing.T) {
-	// Outside the taskrun import path the same files produce nothing — the
-	// file-suffix allowlists never widen the rule's package scope.
-	p := loadFixture(t, "taskrun", "supersim/internal/lint/testdata/src/taskrun")
-	if diags := NewDeterminism().Check(p); len(diags) != 0 {
-		t.Fatalf("determinism fired outside sim-core: %v", diags)
-	}
-}
-
-func TestHotpathFixture(t *testing.T) {
-	p := loadFixture(t, "hotpath", "supersim/internal/lint/testdata/src/hotpath")
-	runWantTest(t, p, []Analyzer{NewHotpath()})
-}
-
-func TestProbeguardFixture(t *testing.T) {
-	p := loadFixture(t, "probeguard", "supersim/internal/lint/testdata/src/probeguard")
-	runWantTest(t, p, []Analyzer{NewProbeguard()})
-}
-
-func TestFactoryregFixture(t *testing.T) {
-	p := loadFixture(t, "factoryreg", "supersim/internal/lint/testdata/src/factoryreg")
-	runWantTest(t, p, []Analyzer{NewFactoryReg()})
 }
 
 func TestProbeguardExemptPackages(t *testing.T) {
@@ -181,9 +70,11 @@ func TestProbeguardExemptPackages(t *testing.T) {
 func TestDirectiveProblems(t *testing.T) {
 	p := loadFixture(t, "directive", "supersim/internal/lint/testdata/src/directive")
 	wantSubstr := []string{
-		"requires a justification",
+		"//sslint:allow requires a justification",
 		`unknown rule "nosuchrule"`,
+		`lists rule "determinism" twice`,
 		`unknown sslint directive "//sslint:frobnicate"`,
+		"//sslint:nosnapshot requires a justification",
 		"doc comment of a function",
 	}
 	probs := p.directives.problems
@@ -203,8 +94,20 @@ func TestDirectiveProblems(t *testing.T) {
 	if diags := (&Runner{Analyzers: []Analyzer{NewHotpath()}}).Run([]*Package{p}); len(diags) != 0 {
 		t.Errorf("rule-subset run leaked directive problems: %v", diags)
 	}
-	if diags := (&Runner{Analyzers: AllAnalyzers(), CheckDirectives: true}).Run([]*Package{p}); len(diags) != len(wantSubstr) {
-		t.Errorf("full run reported %d diagnostics, want %d: %v", len(diags), len(wantSubstr), diags)
+	// The full run adds one finding beyond the parse problems: the allow the
+	// duplicate listing registered suppresses nothing.
+	diags := (&Runner{Analyzers: AllAnalyzers(), CheckDirectives: true}).Run([]*Package{p})
+	if len(diags) != len(wantSubstr)+1 {
+		t.Errorf("full run reported %d diagnostics, want %d: %v", len(diags), len(wantSubstr)+1, diags)
+	}
+	unused := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses nothing") {
+			unused++
+		}
+	}
+	if unused != 1 {
+		t.Errorf("full run reported %d unused-allow findings, want 1: %v", unused, diags)
 	}
 }
 
@@ -223,6 +126,17 @@ func TestNewAnalyzer(t *testing.T) {
 	}
 	if !KnownRule(RuleHotpath) || KnownRule("bogus") || KnownRule(RuleDirective) {
 		t.Fatal("KnownRule misclassifies")
+	}
+}
+
+func TestRuleDoc(t *testing.T) {
+	for _, r := range append(Rules(), RuleDirective) {
+		if RuleDoc(r) == "" {
+			t.Errorf("RuleDoc(%q) is empty", r)
+		}
+	}
+	if RuleDoc("bogus") != "" {
+		t.Error("RuleDoc invented documentation for an unknown rule")
 	}
 }
 

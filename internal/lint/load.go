@@ -29,6 +29,7 @@ type Package struct {
 
 	directives *directives
 	parents    map[ast.Node]ast.Node
+	fdecls     map[types.Object]*ast.FuncDecl // lazy; see funcDecl in dataflow.go
 }
 
 // TypeOf returns the type of an expression, or nil when untyped.

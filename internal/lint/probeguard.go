@@ -45,10 +45,17 @@ var DefaultProbeExemptPackages = []string{
 
 // Probeguard enforces probe hygiene: every call to a method of a probe type
 // must be dominated by a nil check of the receiver expression (or of an
-// index prefix of it — see guards.go for the accepted idioms). A probe call
-// without the guard either crashes observation-disabled runs or silently
-// depends on a guard of a *different* field that merely happens to be
-// created together with the receiver.
+// index prefix of it — a check of b.credLed guards a call on
+// b.credLed[port]). A probe call without the guard either crashes
+// observation-disabled runs or silently depends on a guard of a *different*
+// field that merely happens to be created together with the receiver.
+//
+// Since v2 the domination question is answered by the CFG nil-facts
+// dataflow (cfg.go, dataflow.go) instead of an ancestor walk, so guards
+// survive early returns, switch dispatch, loops, guard-helper predicates
+// (`if n.hasProbe() { ... }` where hasProbe is `return n.v != nil`), and
+// reassignment kills stale guards (`if n.v != nil { n.v = nil; n.v.M() }`
+// is flagged).
 type Probeguard struct {
 	// Probes are the guarded types.
 	Probes []probeType
@@ -88,6 +95,7 @@ func (a *Probeguard) Check(p *Package) []Diagnostic {
 			return nil
 		}
 	}
+	analyses := newBodyAnalyses(p)
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -111,15 +119,21 @@ func (a *Probeguard) Check(p *Package) []Diagnostic {
 			if provablyNonNil(recv) {
 				return true
 			}
-			if nilGuarded(p, call, receiverKeys(recv)) {
+			keys := receiverKeys(recv)
+			fa := analyses.forNode(call)
+			if fa != nil && fa.factsAt(call).anyNonNil(keys) {
 				return true
 			}
 			recvText := types.ExprString(recv)
+			guard := recvText
+			if len(keys) > 0 {
+				guard = keys[0]
+			}
 			diags = append(diags, Diagnostic{
 				Rule: RuleProbeguard, Pos: p.Position(call.Pos()),
 				Message: fmt.Sprintf(
-					"call to (*%s.%s).%s is not dominated by a nil check of %s — probes are nil when observation is disabled",
-					shortPkg(pt.Pkg), pt.Name, sel.Sel.Name, recvText),
+					"call to (*%s.%s).%s is not dominated by a nil check of %s — probes are nil when observation is disabled; guard the call with `if %s != nil`",
+					shortPkg(pt.Pkg), pt.Name, sel.Sel.Name, recvText, guard),
 			})
 			return true
 		})

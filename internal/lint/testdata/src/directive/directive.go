@@ -10,7 +10,16 @@ func missingJustification() {}
 //sslint:allow nosuchrule — the rule name does not exist
 func unknownRule() {}
 
+// The first "determinism" registers an (unused) allow; the second listing is
+// a duplicate. Both outcomes are asserted by the test.
+//
+//sslint:allow determinism,determinism — duplicate listing
+func duplicateRule() {}
+
 //sslint:frobnicate
 func unknownDirective() {}
+
+//sslint:nosnapshot
+func nosnapshotWithoutJustification() {}
 
 var notAFunc = 1 //sslint:hotpath

@@ -1,0 +1,121 @@
+// CFG-era guard idioms: shapes the v1 ancestor walk could not follow —
+// switches, loops with guard-killing reassignment, goto joins, guard-helper
+// predicates, and closures. Never part of the build.
+package lintfixture
+
+import "supersim/internal/verify"
+
+func (n *node) guardedSwitch(mode int) {
+	if n.v == nil {
+		return
+	}
+	switch mode {
+	case 0:
+		n.v.FlitInjected(nil)
+	default:
+		n.v.FlitRetired(nil)
+	}
+}
+
+func (n *node) guardedSwitchCase() {
+	switch {
+	case n.v == nil:
+		return
+	}
+	n.v.FlitInjected(nil)
+}
+
+func (n *node) guardedLoop(k int) {
+	if n.v == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		n.v.FlitInjected(nil)
+	}
+}
+
+func (n *node) loopKillsGuard(k int) {
+	if n.v == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		n.v.FlitInjected(nil) // want `nil check of n\.v`
+		n.v = nil
+	}
+}
+
+func (n *node) hasVerifier() bool { return n.v != nil }
+
+func (n *node) viaGuardHelperMethod() {
+	if n.hasVerifier() {
+		n.v.FlitInjected(nil)
+	}
+}
+
+func hasLedger(cl *verify.CreditLedger) bool { return cl != nil }
+
+func (n *node) viaGuardHelperFunc() {
+	if hasLedger(n.cl) {
+		n.cl.Credit(0, 0)
+	}
+}
+
+func (n *node) gotoJoin() {
+	if n.v == nil {
+		goto done
+	}
+	n.v.FlitInjected(nil)
+done:
+	n.v.FlitRetired(nil) // want `nil check of n\.v`
+}
+
+func (n *node) reassignedInsideGuard() {
+	if n.v != nil {
+		n.v = nil
+		n.v.FlitInjected(nil) // want `nil check of n\.v`
+	}
+}
+
+func (n *node) guardedContinue(ks []int) {
+	for _, k := range ks {
+		if n.cl == nil {
+			continue
+		}
+		n.cl.Credit(k, 0)
+	}
+}
+
+func (n *node) closureAtGuardedPoint() func() {
+	if n.v == nil {
+		return nil
+	}
+	return func() { n.v.FlitRetired(nil) }
+}
+
+func (n *node) closureUnguarded() func() {
+	return func() { n.v.FlitRetired(nil) } // want `nil check of n\.v`
+}
+
+func (n *node) typeSwitchGuard(x any) {
+	if n.tp == nil {
+		return
+	}
+	switch x.(type) {
+	case int:
+		n.tp.TaskReady("a")
+	default:
+		n.tp.TaskStarted("b")
+	}
+}
+
+func (n *node) zeroValueLocal() {
+	var v *verify.Verifier
+	v.InFlight() // want `nil check of v`
+}
+
+func (n *node) guardThenPanic() {
+	if n.v == nil {
+		panic("verifier required")
+	}
+	n.v.FlitInjected(nil)
+}

@@ -1,0 +1,188 @@
+// Codec shapes beyond the plain SaveState/LoadState method pair: locally
+// created encoders (core.Snapshot/Restore style), free functions paired by
+// name hint (types.EncodeFlit style), helper functions that carry the codec,
+// field coverage through non-codec method delegation, and the delA/delB/delC
+// family, which statically enumerates every single-encoder-call deletion of
+// the full codec — each deletion must produce a finding.
+package lintfixture
+
+import "supersim/internal/snapshot"
+
+// box serializes through a locally created encoder/decoder, paired by the
+// snapshot/restore direction prefixes.
+type box struct {
+	v uint64
+	w uint64
+}
+
+func (b *box) mutate() { b.v++; b.w++ }
+
+func (b *box) Snapshot() []byte {
+	e := snapshot.NewEncoder()
+	e.U64(b.v)
+	e.U64(b.w)
+	return e.Bytes()
+}
+
+func (b *box) Restore(data []byte) error {
+	d := snapshot.NewDecoder(data)
+	b.v = d.U64()
+	b.w = d.U64()
+	return d.Err()
+}
+
+// blob is serialized by free functions, paired with the subject through the
+// encodeBlob/decodeBlob name hint; the codec bytes move through helper
+// functions that receive the codec as an argument.
+type blob struct {
+	xs []int
+}
+
+func (b *blob) grow() { b.xs = append(b.xs, 1) }
+
+func encodeBlob(e *snapshot.Encoder, b *blob) {
+	saveInts(e, b.xs)
+}
+
+func decodeBlob(d *snapshot.Decoder, b *blob) error {
+	b.xs = loadInts(d)
+	return d.Err()
+}
+
+func saveInts(e *snapshot.Encoder, xs []int) {
+	e.Int(len(xs))
+	for _, x := range xs {
+		e.Int(x)
+	}
+}
+
+func loadInts(d *snapshot.Decoder) []int {
+	n := d.Count()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Int())
+	}
+	return out
+}
+
+// journal's sealed field is never mentioned by the codec bodies themselves —
+// coverage flows through the seal() delegation, one level deep, the way
+// Registry.SaveState covers its fields via sortLocked.
+type journal struct {
+	entries []int
+	sealed  bool
+}
+
+func (j *journal) add(v int) { j.entries = append(j.entries, v); j.sealed = false }
+
+func (j *journal) seal() { j.sealed = true }
+
+func (j *journal) SaveState(e *snapshot.Encoder) {
+	j.seal()
+	e.Int(len(j.entries))
+	for _, v := range j.entries {
+		e.Int(v)
+	}
+}
+
+func (j *journal) LoadState(d *snapshot.Decoder) error {
+	n := d.Count()
+	j.entries = j.entries[:0]
+	for i := 0; i < n; i++ {
+		j.entries = append(j.entries, d.Int())
+	}
+	j.seal()
+	return d.Err()
+}
+
+// full is the reference codec for the deletion family below: three fields,
+// encoded and decoded in the same order. No findings.
+type full struct {
+	a uint64
+	b uint64
+	c uint64
+}
+
+func (f *full) touch() { f.a++; f.b++; f.c++ }
+
+func (f *full) SaveState(e *snapshot.Encoder) {
+	e.U64(f.a)
+	e.U64(f.b)
+	e.U64(f.c)
+}
+
+func (f *full) LoadState(d *snapshot.Decoder) error {
+	f.a = d.U64()
+	f.b = d.U64()
+	f.c = d.U64()
+	return d.Err()
+}
+
+// delA is full with the first encoder call deleted.
+type delA struct {
+	a uint64
+	b uint64
+	c uint64
+}
+
+func (f *delA) touch() { f.a++; f.b++; f.c++ }
+
+func (f *delA) SaveState(e *snapshot.Encoder) {
+	e.U64(f.b)
+	e.U64(f.c)
+}
+
+func (f *delA) LoadState(d *snapshot.Decoder) error {
+	f.a = d.U64() // want `field delA\.a is restored here but no save codec encodes it`
+	f.b = d.U64()
+	f.c = d.U64()
+	return d.Err()
+}
+
+// delB is full with the middle encoder call deleted.
+type delB struct {
+	a uint64
+	b uint64
+	c uint64
+}
+
+func (f *delB) touch() { f.a++; f.b++; f.c++ }
+
+func (f *delB) SaveState(e *snapshot.Encoder) {
+	e.U64(f.a)
+	e.U64(f.c)
+}
+
+func (f *delB) LoadState(d *snapshot.Decoder) error {
+	f.a = d.U64()
+	f.b = d.U64() // want `field delB\.b is restored here but no save codec encodes it`
+	f.c = d.U64()
+	return d.Err()
+}
+
+// delC is full with the last encoder call deleted.
+type delC struct {
+	a uint64
+	b uint64
+	c uint64
+}
+
+func (f *delC) touch() { f.a++; f.b++; f.c++ }
+
+func (f *delC) SaveState(e *snapshot.Encoder) {
+	e.U64(f.a)
+	e.U64(f.b)
+}
+
+func (f *delC) LoadState(d *snapshot.Decoder) error {
+	f.a = d.U64()
+	f.b = d.U64()
+	f.c = d.U64() // want `field delC\.c is restored here but no save codec encodes it`
+	return d.Err()
+}
+
+// A nosnapshot that covers no audited struct field is rot and is reported
+// when the snapshotcomplete analyzer runs with directive checking.
+//
+//sslint:nosnapshot — attached to nothing // want `does not cover any audited struct field`
+var strayDirective = 0

@@ -44,8 +44,9 @@ type rebindable interface {
 // it and implement ProcessEvent.
 type ComponentBase struct {
 	name string
-	sim  *Simulator
-	ord  eventOrder
+	//sslint:nosnapshot — simulator wiring, rebound by Engine.Adopt when shards are assigned
+	sim *Simulator
+	ord eventOrder
 }
 
 // NewComponentBase initializes the embedded base with a simulator and name.

@@ -35,7 +35,7 @@ func driveSpan(sp *Spans, m *types.Message) sim.Tick {
 	sp.Step(nil, t, f, SpanOutput)
 	t += 4
 	sp.Step(nil, t, f, SpanWire) // ejection link: hop 1 -> destination
-	t += 6                  // reassembly tail
+	t += 6                       // reassembly tail
 	m.ReceiveTime = t
 	sp.Finish(nil, m)
 	return t

@@ -25,8 +25,10 @@ type PoolObserver interface {
 //
 // The zero Pool is not usable; call NewPool.
 type Pool struct {
+	//sslint:nosnapshot — recycling cache: only live messages are state; retired blocks are reconstructible scratch
 	free map[poolKey][]*Message
-	obs  PoolObserver
+	//sslint:nosnapshot — observer wiring, re-attached during the rebuild
+	obs PoolObserver
 
 	gets     uint64 // NewMessage calls
 	hits     uint64 // NewMessage calls served from the free list

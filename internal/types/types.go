@@ -78,9 +78,10 @@ type Message struct {
 	flitBlock []Flit
 	flitPtrs  []*Flit
 
-	maxPkt   int   // segmentation parameter, part of the pool bucket key
-	pool     *Pool // owning pool; nil for unpooled messages
-	released bool  // guards against double Release
+	maxPkt int   // segmentation parameter, part of the pool bucket key
+	pool   *Pool // owning pool; nil for unpooled messages
+	//sslint:nosnapshot — double-Release guard; snapshots hold live messages only, so it is always false
+	released bool // guards against double Release
 
 	// gen counts the message's lives: it is bumped on every (re)initialization
 	// so verification layers can detect references into a recycled block (see
